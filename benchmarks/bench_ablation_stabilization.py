@@ -1,0 +1,27 @@
+"""Ablation — Chord finger-table stabilisation interval.
+
+The stabilisation interval controls how long failed peers linger in finger
+tables; it is the mechanism behind Figure 11's failure sensitivity.  Longer
+intervals mean more routing retries and timeouts under the same churn.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures
+
+
+def test_stabilization_interval_ablation(benchmark, bench_scale, bench_seed, record_table):
+    intervals = (0.0, 60.0, 600.0)
+    table = benchmark.pedantic(
+        lambda: figures.ablation_stabilization(bench_scale, seed=bench_seed,
+                                               intervals=intervals),
+        rounds=1, iterations=1)
+    record_table(table, benchmark)
+
+    response_times = table.series_values("response time (s)")
+    messages = table.series_values("messages")
+    assert table.x_values() == list(intervals)
+    # Perfectly fresh routing state (interval 0) is at least as fast as the
+    # slowest-refresh configuration under a 50 % failure churn.
+    assert response_times[0] <= response_times[-1]
+    assert messages[0] <= messages[-1] * 1.05

@@ -1,0 +1,31 @@
+"""Figure 10 — communication cost vs number of replicas (|Hr| sweep)."""
+
+from __future__ import annotations
+
+from repro.experiments import figures
+
+
+def test_figure10_messages_vs_replicas(benchmark, bench_scale, bench_seed,
+                                       sweep_cache, record_table):
+    def run():
+        data = sweep_cache.get(("replicas", bench_scale, bench_seed))
+        if data is None:
+            data = figures.replica_sweep_results(bench_scale, seed=bench_seed)
+            sweep_cache[("replicas", bench_scale, bench_seed)] = data
+        return figures.figure10_replicas_messages(bench_scale, seed=bench_seed,
+                                                  precomputed=data)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(table, benchmark)
+
+    replicas = table.x_values()
+    brk = table.series_values("BRK")
+    direct = table.series_values("UMS-Direct")
+
+    # BRK's traffic grows (roughly) linearly with the replica count.
+    brk_growth = brk[-1] / brk[0]
+    assert brk_growth > 0.5 * (replicas[-1] / replicas[0])
+    # UMS-Direct traffic is dominated by the KTS lookup + a couple of probes and
+    # grows far more slowly than BRK's.
+    assert direct[-1] / direct[0] < 0.5 * brk_growth
+    assert all(d < b for d, b in zip(direct, brk))

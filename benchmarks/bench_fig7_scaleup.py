@@ -1,0 +1,38 @@
+"""Figure 7 — response time vs number of peers (wide-area simulation).
+
+Runs the Table 1 workload over the peer-count sweep for BRK, UMS-Indirect and
+UMS-Direct, and checks the paper's claims: response time grows slowly
+(logarithmically) with the number of peers and UMS dominates BRK.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures
+
+
+def test_figure7_response_time_vs_peers(benchmark, bench_scale, bench_seed,
+                                        sweep_cache, record_table):
+    def run():
+        data = figures.scaleup_results(bench_scale, seed=bench_seed)
+        sweep_cache[("scaleup", bench_scale, bench_seed)] = data
+        return figures.figure7_simulated_scaleup(bench_scale, seed=bench_seed,
+                                                 precomputed=data)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(table, benchmark)
+
+    peers = table.x_values()
+    brk = table.series_values("BRK")
+    direct = table.series_values("UMS-Direct")
+    indirect = table.series_values("UMS-Indirect")
+
+    # Ordering: UMS-Direct <= UMS-Indirect < BRK at every population size.
+    for d, i, b in zip(direct, indirect, brk):
+        assert d < b
+        assert i < b
+    assert sum(direct) / len(direct) <= sum(indirect) / len(indirect)
+
+    # Sub-linear growth: the largest network is >= 4x the smallest, but BRK's
+    # response time grows far less than proportionally (logarithmic routing).
+    assert peers[-1] / peers[0] >= 4
+    assert brk[-1] / brk[0] < 2.0

@@ -1,0 +1,35 @@
+"""Figure 8 — communication cost (total messages per query) vs number of peers.
+
+Uses the same sweep as Figure 7 (cached when the Figure 7 benchmark ran first
+in the session) and checks that BRK pays roughly |Hr| lookups per query while
+UMS needs only the KTS lookup plus a couple of replica probes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures
+
+
+def test_figure8_messages_vs_peers(benchmark, bench_scale, bench_seed,
+                                   sweep_cache, record_table):
+    def run():
+        data = sweep_cache.get(("scaleup", bench_scale, bench_seed))
+        if data is None:
+            data = figures.scaleup_results(bench_scale, seed=bench_seed)
+            sweep_cache[("scaleup", bench_scale, bench_seed)] = data
+        return figures.figure8_messages_vs_peers(bench_scale, seed=bench_seed,
+                                                 precomputed=data)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(table, benchmark)
+
+    brk = table.series_values("BRK")
+    direct = table.series_values("UMS-Direct")
+    indirect = table.series_values("UMS-Indirect")
+
+    for d, i, b in zip(direct, indirect, brk):
+        # BRK retrieves every replica: several times the traffic of UMS-Direct.
+        assert b > 2.5 * d
+        assert i <= b
+    # Message counts grow slowly (logarithmic routing).
+    assert brk[-1] / brk[0] < 2.0

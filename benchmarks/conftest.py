@@ -1,0 +1,73 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures (or an ablation)
+and
+
+* stores the rendered table under ``benchmarks/results/<experiment>.md``,
+* attaches the table text and headline numbers to ``benchmark.extra_info`` so
+  they appear in ``pytest-benchmark``'s JSON output,
+* asserts the qualitative shape reported by the paper.
+
+Scale selection: set ``REPRO_BENCH_SCALE=paper`` to run the full Table 1
+configuration (2,000–10,000 peers, 3 simulated hours — several minutes of wall
+clock); the default ``quick`` profile preserves the shapes and finishes in
+seconds per figure.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+#: The experiment sweeps behind Figures 7/8 and 9/10 are shared; benches cache
+#: them here so the second figure of each pair does not re-run the simulation.
+_SWEEP_CACHE: dict = {}
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """The sweep scale: ``quick`` (default) or ``paper`` via REPRO_BENCH_SCALE."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if scale not in ("tiny", "quick", "paper"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be tiny/quick/paper, got {scale!r}")
+    return scale
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    """Master seed shared by every benchmark run."""
+    return int(os.environ.get("REPRO_BENCH_SEED", "2007"))
+
+
+@pytest.fixture(scope="session")
+def sweep_cache() -> dict:
+    """Session-wide cache of shared sweeps (Figures 7/8 and 9/10)."""
+    return _SWEEP_CACHE
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir):
+    """Save a rendered experiment table and return its text."""
+
+    def _record(table, benchmark=None):
+        path = results_dir / f"{table.experiment_id}.md"
+        path.write_text(table.to_markdown() + "\n", encoding="utf-8")
+        text = table.to_text()
+        if benchmark is not None:
+            benchmark.extra_info["experiment"] = table.experiment_id
+            benchmark.extra_info["table"] = text
+        print()
+        print(text)
+        return text
+
+    return _record

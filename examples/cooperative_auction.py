@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Cooperative auction management (paper Section 1) — why currency matters.
+
+Bidders race to outbid each other on an item whose state is replicated in the
+DHT.  Accepting a bid requires the *current* high bid: if a peer acted on a
+stale replica it could accept a bid lower than one already accepted.
+
+The example runs the same bidding war twice:
+
+* with **UMS**, every read is certified current, so the bid history is
+  monotone and the winner is the true highest bidder;
+* with the **BRK baseline**, two concurrent updates can produce replicas with
+  the same version number, and the baseline cannot tell which is current — the
+  example surfaces the resulting ambiguity.
+
+Run with::
+
+    python examples/cooperative_auction.py
+"""
+
+from __future__ import annotations
+
+from repro import build_service_stack
+from repro.apps import Auction, BidRejected
+
+
+def ums_auction() -> None:
+    print("== UMS-backed auction ==")
+    stack = build_service_stack(num_peers=96, num_replicas=10, seed=11)
+    auction = Auction(stack.ums, "violin-1713", seller="sotheby", reserve_price=100.0,
+                      minimum_increment=5.0)
+    auction.open()
+
+    bids = [("alice", 100.0), ("bob", 120.0), ("carol", 110.0), ("alice", 140.0),
+            ("bob", 139.0), ("carol", 155.0)]
+    for bidder, amount in bids:
+        try:
+            accepted = auction.place_bid(bidder, amount)
+            print(f"  accepted  {bidder:<6} {amount:>7.2f}  (bid #{accepted.sequence})")
+        except BidRejected as rejection:
+            print(f"  rejected  {bidder:<6} {amount:>7.2f}  ({rejection})")
+
+    winner = auction.close()
+    print(f"  winner: {winner.bidder} at {winner.amount:.2f}")
+    history = [bid.amount for bid in auction.bids()]
+    print(f"  accepted bid history is strictly increasing: "
+          f"{all(b > a for a, b in zip(history, history[1:]))}")
+    print()
+
+
+def brk_auction() -> None:
+    print("== BRK-backed auction (no currency guarantee) ==")
+    stack = build_service_stack(num_peers=96, num_replicas=10, seed=11)
+    brk = stack.brk
+    key = "auction:violin-1713"
+    opening = brk.insert(key, {"status": "open", "high_bid": 100.0, "bidder": "alice"})
+
+    # Two peers accept bids concurrently: both read {high_bid: 100} (version 1)
+    # and both write a new state with version 2 — BRICKS cannot order them.
+    # Their messages reach the replica holders in different orders (carol's
+    # update does not reach half of them), leaving same-version replicas with
+    # different contents.
+    holders = sorted({stack.network.responsible_peer(key, h) for h in stack.replication})
+    brk.insert(key, {"status": "open", "high_bid": 120.0, "bidder": "bob"},
+               observed_version=opening.version)
+    brk.insert(key, {"status": "open", "high_bid": 110.0, "bidder": "carol"},
+               observed_version=opening.version,
+               unreachable=frozenset(holders[::2]))
+
+    outcome = brk.retrieve(key)
+    print(f"  BRK returned high bid {outcome.data['high_bid']} by {outcome.data['bidder']} "
+          f"(version {outcome.version})")
+    print(f"  replicas inspected: {outcome.replicas_inspected}, "
+          f"messages: {outcome.trace.message_count}")
+    print(f"  ambiguous (same version, different data)? {outcome.ambiguous}")
+    print("  -> bob's 120.0 may silently lose to carol's 110.0 depending on replica order")
+
+
+def main() -> None:
+    ums_auction()
+    brk_auction()
+
+
+if __name__ == "__main__":
+    main()

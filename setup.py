@@ -1,0 +1,20 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists so
+that editable installs work on minimal environments that lack the ``wheel``
+package (legacy ``setup.py develop`` path).
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Data Currency in Replicated DHTs' (SIGMOD 2007): "
+        "UMS + KTS over simulated Chord/CAN DHTs"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

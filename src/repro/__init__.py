@@ -1,0 +1,61 @@
+"""repro — a reproduction of *Data Currency in Replicated DHTs* (SIGMOD 2007).
+
+The package provides:
+
+* a simulated DHT substrate (Chord and CAN overlays, replica storage, churn,
+  message accounting) in :mod:`repro.dht`;
+* a discrete-event simulation engine and network cost models in :mod:`repro.sim`;
+* the paper's contribution — the Update Management Service (UMS) and the
+  Key-based Timestamping Service (KTS) — plus the BRICKS baseline (BRK) in
+  :mod:`repro.core`;
+* the end-to-end simulation harness reproducing the paper's evaluation
+  (Table 1 parameters, churn/update/query workloads) in :mod:`repro.simulation`;
+* per-figure experiment generators in :mod:`repro.experiments`;
+* example applications (agenda, auction, reservation management) in
+  :mod:`repro.apps`.
+
+Quickstart
+----------
+>>> from repro import build_service_stack
+>>> stack = build_service_stack(num_peers=32, num_replicas=8, seed=7)
+>>> stack.ums.insert("auction:42", {"high_bid": 100})        # doctest: +ELLIPSIS
+InsertResult(...)
+>>> result = stack.ums.retrieve("auction:42")
+>>> result.data, result.is_current
+({'high_bid': 100}, True)
+"""
+
+from repro.core import (
+    BricksService,
+    CounterInitialization,
+    KeyBasedTimestampService,
+    ReplicationScheme,
+    RetrieveResult,
+    ServiceStack,
+    Timestamp,
+    UpdateManagementService,
+    build_service_stack,
+)
+from repro.dht import CanSpace, ChordRing, DHTNetwork, HashFamily
+from repro.sim import NetworkCostModel, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BricksService",
+    "CanSpace",
+    "ChordRing",
+    "CounterInitialization",
+    "DHTNetwork",
+    "HashFamily",
+    "KeyBasedTimestampService",
+    "NetworkCostModel",
+    "ReplicationScheme",
+    "RetrieveResult",
+    "ServiceStack",
+    "Simulator",
+    "Timestamp",
+    "UpdateManagementService",
+    "__version__",
+    "build_service_stack",
+]

@@ -1,0 +1,23 @@
+"""Example applications built on UMS.
+
+The paper motivates data currency with applications such as agenda management,
+cooperative auction management and reservation management (Section 1).  This
+sub-package implements small but functional versions of all three on top of
+:class:`~repro.core.ums.UpdateManagementService`; they are used by the
+``examples/`` scripts and the integration tests.
+"""
+
+from repro.apps.agenda import AgendaEntry, SharedAgenda
+from repro.apps.auction import Auction, Bid, BidRejected
+from repro.apps.reservation import ReservationBook, ReservationError, SeatAlreadyTaken
+
+__all__ = [
+    "AgendaEntry",
+    "Auction",
+    "Bid",
+    "BidRejected",
+    "ReservationBook",
+    "ReservationError",
+    "SeatAlreadyTaken",
+    "SharedAgenda",
+]

@@ -1,0 +1,131 @@
+"""Command-line interface.
+
+Two entry points are provided (also installable as console scripts):
+
+* ``python -m repro.cli simulate`` — run one simulation (one algorithm, one
+  parameter point) and print the measured response time / communication cost;
+* ``python -m repro.cli experiments`` — regenerate the paper's tables and
+  figures (thin wrapper over :mod:`repro.experiments.runner`).
+
+Examples
+--------
+::
+
+    python -m repro.cli simulate --algorithm ums-direct --peers 2000 --duration 1800
+    python -m repro.cli simulate --algorithm brk --peers 500 --replicas 20 --json
+    python -m repro.cli experiments --scale quick --output results.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.experiments import runner as experiments_runner
+from repro.simulation.config import Algorithm, SimulationParameters
+from repro.simulation.harness import run_simulation
+
+__all__ = ["build_parser", "main", "simulate_command"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Data Currency in Replicated DHTs' (SIGMOD 2007)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="run one simulation and report response time / messages")
+    simulate.add_argument("--algorithm", choices=Algorithm.ALL, default=Algorithm.UMS_DIRECT)
+    simulate.add_argument("--peers", type=int, default=1000,
+                          help="number of peers (Table 1: 10000)")
+    simulate.add_argument("--replicas", type=int, default=10, help="|Hr| (Table 1: 10)")
+    simulate.add_argument("--keys", type=int, default=20, help="number of data items")
+    simulate.add_argument("--duration", type=float, default=1800.0,
+                          help="simulated seconds (Table 1: 10800)")
+    simulate.add_argument("--queries", type=int, default=30,
+                          help="measured queries per run (paper: 30)")
+    simulate.add_argument("--churn-rate", type=float, default=None,
+                          help="departures per second (default: Table 1 intensity "
+                               "scaled to the population)")
+    simulate.add_argument("--failure-rate", type=float, default=5.0,
+                          help="percentage of departures that are failures")
+    simulate.add_argument("--update-rate", type=float, default=1.0,
+                          help="updates per data item per hour")
+    simulate.add_argument("--protocol", choices=("chord", "can"), default="chord")
+    simulate.add_argument("--cluster", action="store_true",
+                          help="use the 64-node-cluster cost model instead of Table 1's WAN")
+    simulate.add_argument("--seed", type=int, default=2007)
+    simulate.add_argument("--json", action="store_true", help="print a JSON summary")
+
+    experiments = subparsers.add_parser(
+        "experiments", help="regenerate the paper's tables and figures")
+    experiments.add_argument("--scale", choices=("tiny", "quick", "paper"), default="quick")
+    experiments.add_argument("--seed", type=int, default=2007)
+    experiments.add_argument("--output", default=None)
+    experiments.add_argument("--no-ablations", action="store_true")
+    return parser
+
+
+def _parameters_from_args(arguments: argparse.Namespace) -> SimulationParameters:
+    churn_rate = arguments.churn_rate
+    if churn_rate is None:
+        # Preserve Table 1's churn intensity (1 departure/s across 10,000 peers
+        # over 3 hours) for whatever population/duration was requested.
+        churn_rate = 1.08 * arguments.peers / arguments.duration
+    return SimulationParameters(
+        num_peers=arguments.peers, num_replicas=arguments.replicas,
+        num_keys=arguments.keys, duration_s=arguments.duration,
+        num_queries=arguments.queries, churn_rate_per_s=churn_rate,
+        failure_rate=arguments.failure_rate / 100.0,
+        update_rate_per_hour=arguments.update_rate, protocol=arguments.protocol,
+        cost_model_preset="cluster" if arguments.cluster else "wide-area",
+        algorithm=arguments.algorithm, seed=arguments.seed)
+
+
+def simulate_command(arguments: argparse.Namespace, *, stream=None) -> int:
+    """Run the ``simulate`` sub-command."""
+    stream = stream if stream is not None else sys.stdout
+    parameters = _parameters_from_args(arguments)
+    result = run_simulation(parameters)
+    summary = result.summary()
+    if arguments.json:
+        payload = {"algorithm": result.algorithm, "num_peers": result.num_peers,
+                   "num_replicas": result.num_replicas, **summary}
+        stream.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return 0
+    label = Algorithm.label(result.algorithm)
+    stream.write(f"algorithm            : {label}\n")
+    stream.write(f"peers / replicas     : {result.num_peers} / {result.num_replicas}\n")
+    stream.write(f"queries measured     : {result.query_count}\n")
+    stream.write(f"avg response time    : {result.avg_response_time_s:.2f} s\n")
+    stream.write(f"avg messages / query : {result.avg_messages:.1f}\n")
+    stream.write(f"avg replicas probed  : {result.avg_replicas_inspected:.2f}\n")
+    stream.write(f"certified current    : {result.currency_rate:.0%}\n")
+    stream.write(f"churn events (fails) : {result.churn_events} ({result.failures})\n")
+    stream.write(f"updates performed    : {result.updates_performed}\n")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    if arguments.command == "simulate":
+        return simulate_command(arguments)
+    if arguments.command == "experiments":
+        runner_args = ["--scale", arguments.scale, "--seed", str(arguments.seed)]
+        if arguments.output:
+            runner_args += ["--output", arguments.output]
+        if arguments.no_ablations:
+            runner_args.append("--no-ablations")
+        return experiments_runner.main(runner_args)
+    parser.error(f"unknown command {arguments.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,134 @@
+"""BRK — the BRICKS baseline the paper compares against (Section 5.1, 6).
+
+BRICKS (Knezevic et al., GLOBE 2005) replicates a data item under multiple
+correlated keys and attaches a *version number* to every replica, incremented
+on each update.  To return a current replica it must
+
+* retrieve **all** replicas (it cannot tell whether a single replica is
+  current without comparing), and
+* pick the highest version — which is ambiguous when concurrent updates
+  produced two different values with the same version number.
+
+We model the correlated keys with the same pairwise-independent hash functions
+used for UMS so the two services place replicas identically; what differs is
+the update metadata (versions vs. KTS timestamps) and the retrieval strategy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, FrozenSet, List, Optional
+
+from repro.core.replication import ReplicationScheme
+from repro.core.ums import RetrieveResult
+from repro.dht.messages import OperationTrace
+from repro.dht.network import DHTNetwork
+from repro.dht.storage import StoredValue
+
+__all__ = ["BricksInsertResult", "BricksRetrieveResult", "BricksService"]
+
+
+@dataclass(frozen=True)
+class BricksInsertResult:
+    """Outcome of a BRK insert."""
+
+    key: Any
+    version: int
+    replicas_written: int
+    replicas_attempted: int
+    trace: OperationTrace
+
+
+@dataclass(frozen=True)
+class BricksRetrieveResult:
+    """Outcome of a BRK retrieve.
+
+    ``ambiguous`` is ``True`` when two replicas carried the same (highest)
+    version number but different data — the situation in which BRICKS cannot
+    decide which replica is current (the paper's key criticism).
+    """
+
+    key: Any
+    data: Any
+    version: Optional[int]
+    found: bool
+    ambiguous: bool
+    replicas_inspected: int
+    trace: OperationTrace
+
+    @property
+    def message_count(self) -> int:
+        return self.trace.message_count
+
+
+class BricksService:
+    """Versioning-based replica management (the paper's baseline algorithm)."""
+
+    def __init__(self, network: DHTNetwork, replication: ReplicationScheme, *,
+                 seed: Optional[int] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        self.network = network
+        self.replication = replication
+        self.rng = rng if rng is not None else random.Random(seed)
+
+    # ------------------------------------------------------------------ insert
+    def insert(self, key: Any, data: Any, *, origin: Optional[int] = None,
+               unreachable: FrozenSet[int] = frozenset(),
+               observed_version: Optional[int] = None) -> BricksInsertResult:
+        """Update ``key``: read the replicas' versions, then write version+1 everywhere.
+
+        Two concurrent inserts that read the same version will both write the
+        same new version number — BRICKS has no mechanism to order them, which
+        is exactly the ambiguity the paper points out.  ``observed_version``
+        emulates such a concurrent updater: it skips the read phase and bases
+        the new version on the state the updater had previously observed.
+        """
+        trace = self.network.new_trace()
+        if observed_version is not None:
+            current_version = observed_version
+        else:
+            current_version = 0
+            for hash_fn in self.replication:
+                entry = self.network.get(key, hash_fn, origin=origin, trace=trace,
+                                         unreachable=unreachable)
+                if entry is not None and entry.version is not None:
+                    current_version = max(current_version, entry.version)
+        new_version = current_version + 1
+        written = 0
+        for hash_fn in self.replication:
+            stored = self.network.put(key, hash_fn, data, version=new_version,
+                                      origin=origin, trace=trace,
+                                      unreachable=unreachable)
+            if stored:
+                written += 1
+        return BricksInsertResult(key=key, version=new_version, replicas_written=written,
+                                  replicas_attempted=self.replication.factor, trace=trace)
+
+    # ---------------------------------------------------------------- retrieve
+    def retrieve(self, key: Any, *, origin: Optional[int] = None,
+                 unreachable: FrozenSet[int] = frozenset()) -> BricksRetrieveResult:
+        """Return the replica with the highest version, retrieving *all* replicas."""
+        trace = self.network.new_trace()
+        replicas: List[StoredValue] = []
+        inspected = 0
+        for hash_fn in self.replication:
+            entry = self.network.get(key, hash_fn, origin=origin, trace=trace,
+                                     unreachable=unreachable)
+            inspected += 1
+            if entry is not None and entry.version is not None:
+                replicas.append(entry)
+        if not replicas:
+            return BricksRetrieveResult(key=key, data=None, version=None, found=False,
+                                        ambiguous=False, replicas_inspected=inspected,
+                                        trace=trace)
+        highest = max(entry.version for entry in replicas)
+        winners = [entry for entry in replicas if entry.version == highest]
+        distinct_payloads = {repr(entry.data) for entry in winners}
+        chosen = winners[0]
+        return BricksRetrieveResult(key=key, data=chosen.data, version=highest,
+                                    found=True, ambiguous=len(distinct_payloads) > 1,
+                                    replicas_inspected=inspected, trace=trace)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BricksService(replicas={self.replication.factor})"

@@ -1,0 +1,137 @@
+"""Local counters and the Valid Counter Set (Section 4.1.2).
+
+Each responsible of timestamping keeps one counter per key.  The counter's
+``value`` is the last timestamp generated for the key (0 when none has been
+generated).  The *Valid Counter Set* (VCS) holds the counters a peer may use;
+the paper's three rules govern it:
+
+1. a joining peer starts with an empty VCS;
+2. a counter enters the VCS when it is initialised;
+3. a counter leaves the VCS when the peer loses responsibility for its key.
+
+Indirect initialisation (Section 4.2.2) reconstructs the counter from the
+timestamps stored with the replicas.  Because the reconstruction may miss a
+timestamp that was generated but not yet committed, such counters are marked
+*inexact*: the value used for generation includes the paper's safety margin,
+while ``last_known`` keeps the largest timestamp actually *observed* so that
+``KTS.last_ts`` never reports a timestamp that no replica can carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["KeyCounter", "ValidCounterSet"]
+
+
+@dataclass
+class KeyCounter:
+    """The local counter ``c_{p,k}`` of one key at one peer.
+
+    Attributes
+    ----------
+    key:
+        The key the counter generates timestamps for.
+    value:
+        The last generated (or assumed-generated) timestamp value.  Generation
+        increments it and returns the new value.
+    exact:
+        ``True`` when ``value`` is known to equal the last timestamp actually
+        generated for the key (fresh counters, direct transfers, or counters
+        that have generated locally).  ``False`` right after an indirect
+        initialisation.
+    last_known:
+        The largest timestamp value known to have been *committed* to the DHT
+        (what ``last_ts`` may safely report when the counter is not exact).
+    """
+
+    key: Any
+    value: int = 0
+    exact: bool = True
+    last_known: Optional[int] = None
+
+    def generate(self) -> int:
+        """Generate the next timestamp value (Figure 4's ``c.value := c.value + 1``)."""
+        self.value += 1
+        self.exact = True
+        self.last_known = self.value
+        return self.value
+
+    def last_generated(self) -> Optional[int]:
+        """The value ``last_ts`` should report, or ``None`` when unknown/none."""
+        if self.exact:
+            return self.value if self.value > 0 else None
+        return self.last_known
+
+    def correct_to(self, value: int) -> bool:
+        """Record that a timestamp of ``value`` is known to have been generated.
+
+        Used by the recovery and periodic-inspection strategies (Section
+        4.2.2): the counter is raised to at least ``value`` and ``value``
+        becomes reportable by ``last_ts``.  Returns ``True`` when the counter
+        state changed.
+        """
+        changed = False
+        if value > self.value:
+            self.value = value
+            changed = True
+        if self.last_known is None or value > self.last_known:
+            self.last_known = value
+            changed = True
+        if value >= self.value:
+            # The counter's current value now corresponds to a timestamp that
+            # is known to have been generated.
+            self.exact = True
+        return changed
+
+    def copy_for_transfer(self) -> "KeyCounter":
+        """A copy handed to the next responsible by the direct algorithm."""
+        return KeyCounter(key=self.key, value=self.value, exact=self.exact,
+                          last_known=self.last_known)
+
+
+class ValidCounterSet:
+    """The VCS of one peer: the counters it may legitimately use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Any, KeyCounter] = {}
+
+    # ------------------------------------------------------------------ rules
+    def clear(self) -> None:
+        """Rule 1: a (re)joining peer starts with an empty VCS."""
+        self._counters.clear()
+
+    def add(self, counter: KeyCounter) -> KeyCounter:
+        """Rule 2: insert an initialised counter (replacing any previous one)."""
+        self._counters[counter.key] = counter
+        return counter
+
+    def remove(self, key: Any) -> Optional[KeyCounter]:
+        """Rule 3: drop the counter when responsibility for ``key`` is lost."""
+        return self._counters.pop(key, None)
+
+    # ----------------------------------------------------------------- access
+    def get(self, key: Any) -> Optional[KeyCounter]:
+        """The counter for ``key`` if it is in the VCS."""
+        return self._counters.get(key)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._counters
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def __iter__(self) -> Iterator[KeyCounter]:
+        return iter(list(self._counters.values()))
+
+    def keys(self) -> List[Any]:
+        """Keys that currently have a valid counter at this peer."""
+        return list(self._counters.keys())
+
+    def counters(self) -> List[KeyCounter]:
+        """Snapshot of the counters in the VCS."""
+        return list(self._counters.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ValidCounterSet(keys={len(self._counters)})"

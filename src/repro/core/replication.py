@@ -1,0 +1,80 @@
+"""Replication scheme: the set ``Hr`` of replication hash functions (Section 3.1).
+
+UMS replicates every pair ``(k, data)`` at ``rsp(k, h)`` for each ``h`` in a
+set ``Hr`` of pairwise-independent hash functions.  The size of ``Hr`` is the
+replication factor: the paper uses 10 by default and sweeps 5–40 in Figures 9
+and 10.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence
+
+from repro.core.errors import ReplicationConfigurationError
+from repro.dht.hashing import HashFamily, PairwiseIndependentHash
+
+__all__ = ["ReplicationScheme"]
+
+
+class ReplicationScheme:
+    """An ordered collection of replication hash functions ``Hr``."""
+
+    def __init__(self, hashes: Sequence[PairwiseIndependentHash]) -> None:
+        if not hashes:
+            raise ReplicationConfigurationError("the replication scheme needs at least one hash function")
+        names = [hash_fn.name for hash_fn in hashes]
+        if len(set(names)) != len(names):
+            raise ReplicationConfigurationError(f"duplicate hash function names in Hr: {names}")
+        self._hashes: List[PairwiseIndependentHash] = list(hashes)
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def create(cls, count: int = 10, *, bits: int = 32, seed: Optional[int] = None,
+               family: Optional[HashFamily] = None) -> "ReplicationScheme":
+        """Sample ``count`` replication hash functions from a (new) family."""
+        if count < 1:
+            raise ReplicationConfigurationError(f"replication factor must be >= 1, got {count}")
+        if family is None:
+            family = HashFamily(bits=bits, seed=seed)
+        return cls(family.sample_many(count, prefix="hr"))
+
+    # ---------------------------------------------------------------- access
+    @property
+    def hashes(self) -> Sequence[PairwiseIndependentHash]:
+        """The replication hash functions, in their canonical order."""
+        return tuple(self._hashes)
+
+    @property
+    def names(self) -> List[str]:
+        """The names of the replication hash functions."""
+        return [hash_fn.name for hash_fn in self._hashes]
+
+    @property
+    def factor(self) -> int:
+        """``|Hr|`` — the replication factor."""
+        return len(self._hashes)
+
+    def __len__(self) -> int:
+        return len(self._hashes)
+
+    def __iter__(self) -> Iterator[PairwiseIndependentHash]:
+        return iter(self._hashes)
+
+    def __getitem__(self, index: int) -> PairwiseIndependentHash:
+        return self._hashes[index]
+
+    def shuffled(self, rng: random.Random) -> List[PairwiseIndependentHash]:
+        """The hash functions in a random probe order.
+
+        UMS probes replicas one by one; probing in random order makes the
+        number of probes follow the geometric model of the paper's cost
+        analysis (Section 3.3) even when stale replicas cluster on particular
+        hash functions.
+        """
+        order = list(self._hashes)
+        rng.shuffle(order)
+        return order
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReplicationScheme(factor={self.factor})"

@@ -1,0 +1,176 @@
+"""UMS — the Update Management Service (Section 3).
+
+UMS provides the two update operations of Figure 2 on top of the DHT's
+``put_h``/``get_h`` and the KTS timestamping service:
+
+* :meth:`UpdateManagementService.insert` — generate a timestamp for the key
+  and write ``{data, ts}`` to ``rsp(k, h)`` for every replication hash
+  function ``h ∈ Hr``.  Receiving peers only keep the replica with the newest
+  timestamp, so concurrent inserts converge on the one that obtained the
+  latest timestamp.
+* :meth:`UpdateManagementService.retrieve` — ask KTS for the last timestamp
+  generated for the key, then probe replicas one by one, returning the first
+  replica stamped with that timestamp.  If no current replica is available the
+  most recent one found is returned (flagged as not current).
+
+Every operation returns a result object carrying the full message trace so
+callers can account for communication cost and response time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Optional
+
+from repro.core.kts import KeyBasedTimestampService
+from repro.core.replication import ReplicationScheme
+from repro.core.timestamps import Timestamp
+from repro.dht.messages import OperationTrace
+from repro.dht.network import DHTNetwork
+from repro.dht.storage import StoredValue
+
+__all__ = ["InsertResult", "RetrieveResult", "UpdateManagementService"]
+
+
+@dataclass(frozen=True)
+class InsertResult:
+    """Outcome of a UMS insert."""
+
+    key: Any
+    timestamp: Timestamp
+    replicas_written: int
+    replicas_attempted: int
+    trace: OperationTrace
+
+    @property
+    def fully_replicated(self) -> bool:
+        """Whether every replica holder accepted the new value."""
+        return self.replicas_written == self.replicas_attempted
+
+
+@dataclass(frozen=True)
+class RetrieveResult:
+    """Outcome of a UMS (or BRK) retrieve."""
+
+    key: Any
+    data: Any
+    timestamp: Optional[Timestamp]
+    is_current: bool
+    found: bool
+    replicas_inspected: int
+    latest_timestamp: Optional[Timestamp]
+    trace: OperationTrace
+
+    @property
+    def message_count(self) -> int:
+        """Communication cost of the retrieval (total number of messages)."""
+        return self.trace.message_count
+
+
+class UpdateManagementService:
+    """The paper's UMS, parameterised by a network, a KTS instance and ``Hr``.
+
+    Parameters
+    ----------
+    network / kts / replication:
+        The substrate services.  ``kts.replication`` and ``replication``
+        normally coincide; they are passed separately so tests can explore
+        mismatched configurations.
+    probe_order:
+        ``"random"`` (default) shuffles the replica probe order on every
+        retrieve, matching the independence assumption of the cost analysis;
+        ``"fixed"`` probes in the canonical ``Hr`` order (ablation study).
+    """
+
+    def __init__(self, network: DHTNetwork, kts: KeyBasedTimestampService,
+                 replication: ReplicationScheme, *, probe_order: str = "random",
+                 seed: Optional[int] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        if probe_order not in ("random", "fixed"):
+            raise ValueError(f"probe_order must be 'random' or 'fixed', got {probe_order!r}")
+        self.network = network
+        self.kts = kts
+        self.replication = replication
+        self.probe_order = probe_order
+        self.rng = rng if rng is not None else random.Random(seed)
+
+    # ------------------------------------------------------------------ insert
+    def insert(self, key: Any, data: Any, *, origin: Optional[int] = None,
+               unreachable: FrozenSet[int] = frozenset()) -> InsertResult:
+        """Insert (or update) ``key`` with ``data`` in the replicated DHT.
+
+        ``unreachable`` injects the paper's motivating failure: replica holders
+        in that set do not receive the update, leaving stale replicas behind.
+        """
+        trace = self.network.new_trace()
+        timestamp = self.kts.gen_ts(key, origin=origin, trace=trace)
+        written = 0
+        for hash_fn in self.replication:
+            stored = self.network.put(key, hash_fn, data, timestamp=timestamp,
+                                      origin=origin, trace=trace,
+                                      unreachable=unreachable)
+            if stored:
+                written += 1
+        return InsertResult(key=key, timestamp=timestamp, replicas_written=written,
+                            replicas_attempted=self.replication.factor, trace=trace)
+
+    # ---------------------------------------------------------------- retrieve
+    def retrieve(self, key: Any, *, origin: Optional[int] = None,
+                 unreachable: FrozenSet[int] = frozenset()) -> RetrieveResult:
+        """Return a current replica of ``key`` if one is available (Figure 2).
+
+        The operation stops at the first replica stamped with the last
+        timestamp generated for the key; otherwise it returns the most recent
+        replica it saw, flagged ``is_current=False``.
+        """
+        trace = self.network.new_trace()
+        latest = self.kts.last_ts(key, origin=origin, trace=trace)
+        most_recent: Optional[StoredValue] = None
+        inspected = 0
+        for hash_fn in self._probe_sequence():
+            entry = self.network.get(key, hash_fn, origin=origin, trace=trace,
+                                     unreachable=unreachable)
+            inspected += 1
+            if entry is None or entry.timestamp is None:
+                continue
+            if latest is not None and entry.timestamp.value == latest.value:
+                return RetrieveResult(key=key, data=entry.data,
+                                      timestamp=entry.timestamp, is_current=True,
+                                      found=True, replicas_inspected=inspected,
+                                      latest_timestamp=latest, trace=trace)
+            if most_recent is None or entry.timestamp > most_recent.timestamp:
+                most_recent = entry
+        if most_recent is not None:
+            return RetrieveResult(key=key, data=most_recent.data,
+                                  timestamp=most_recent.timestamp, is_current=False,
+                                  found=True, replicas_inspected=inspected,
+                                  latest_timestamp=latest, trace=trace)
+        return RetrieveResult(key=key, data=None, timestamp=None, is_current=False,
+                              found=False, replicas_inspected=inspected,
+                              latest_timestamp=latest, trace=trace)
+
+    def _probe_sequence(self):
+        if self.probe_order == "random":
+            return self.replication.shuffled(self.rng)
+        return list(self.replication)
+
+    # ------------------------------------------------------------- diagnostics
+    def currency_probability(self, key: Any) -> float:
+        """Empirical probability of currency and availability ``pt`` for ``key``.
+
+        The fraction of replication hash functions whose *current* responsible
+        holds a replica stamped with the latest timestamp stored anywhere.
+        This is the quantity the cost analysis of Section 3.3 is expressed in.
+        """
+        replicas = self.network.stored_replicas(key, self.replication)
+        stamped = [entry for entry in replicas if entry.timestamp is not None]
+        if not stamped:
+            return 0.0
+        newest = max(entry.timestamp.value for entry in stamped)
+        current = sum(1 for entry in stamped if entry.timestamp.value == newest)
+        return current / self.replication.factor
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"UpdateManagementService(replicas={self.replication.factor}, "
+                f"probe_order={self.probe_order!r})")

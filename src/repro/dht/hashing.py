@@ -1,0 +1,196 @@
+"""Hash functions used by the replicated DHT.
+
+The paper replicates each pair ``(k, data)`` under a set ``Hr`` of *pairwise
+independent* hash functions and uses one extra hash function ``h_ts`` to choose
+the peer responsible for timestamping a key (Section 3.1 and 4.1).  The paper
+points to Luby's construction of pairwise-independent families; we implement
+the classical Carter–Wegman family
+
+    h_{a,b}(x) = ((a * x + b) mod p) mod 2^bits
+
+over a Mersenne prime ``p`` larger than the key digest space.  Keys of any
+hashable Python type are first mapped to an integer digest with SHA-1 (the
+digest plays the role of ``x``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, List, Optional, Sequence
+
+__all__ = [
+    "DIGEST_BITS",
+    "HashFamily",
+    "PairwiseIndependentHash",
+    "key_digest",
+]
+
+#: Number of bits of the SHA-1 digest used as the integer representation of keys.
+DIGEST_BITS = 160
+
+#: Mersenne prime 2^521 - 1, comfortably larger than the 160-bit digest space so
+#: the Carter-Wegman construction is exactly pairwise independent over digests.
+_PRIME = (1 << 521) - 1
+
+
+def key_digest(key: Any) -> int:
+    """Map an arbitrary key to a deterministic ``DIGEST_BITS``-bit integer.
+
+    The mapping is stable across processes and Python versions (it does not use
+    the built-in ``hash``), which makes stored data and test expectations
+    reproducible.
+
+    Parameters
+    ----------
+    key:
+        Any object with a stable ``str`` representation.  Bytes are hashed
+        as-is; other objects are hashed through ``repr`` of their type-tagged
+        string form so that ``1`` and ``"1"`` digest differently.
+    """
+    if isinstance(key, bytes):
+        payload = b"bytes:" + key
+    elif isinstance(key, str):
+        payload = b"str:" + key.encode("utf-8")
+    elif isinstance(key, bool):
+        payload = b"bool:" + str(key).encode("ascii")
+    elif isinstance(key, int):
+        payload = b"int:" + str(key).encode("ascii")
+    else:
+        payload = b"repr:" + repr(key).encode("utf-8", "backslashreplace")
+    return int.from_bytes(hashlib.sha1(payload).digest(), "big")
+
+
+@dataclass(frozen=True)
+class PairwiseIndependentHash:
+    """A single Carter–Wegman hash function ``h(x) = ((a·x + b) mod p) mod 2^bits``.
+
+    Instances are immutable and hashable so they can be used as dictionary
+    keys (the network indexes stored values by the hash function that placed
+    them).
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"hr-3"`` or ``"h-ts"``.  Names are
+        what the storage layer keys on, so two functions with the same name are
+        considered the same placement function.
+    a, b:
+        Coefficients of the affine map.  ``a`` must be non-zero modulo ``p``.
+    bits:
+        Size of the output identifier space: outputs lie in ``[0, 2^bits)``.
+    """
+
+    name: str
+    a: int
+    b: int
+    bits: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 512:
+            raise ValueError(f"bits must be in [1, 512], got {self.bits}")
+        if self.a % _PRIME == 0:
+            raise ValueError("coefficient 'a' must be non-zero modulo p")
+
+    @property
+    def space_size(self) -> int:
+        """Number of points in the output identifier space (``2^bits``)."""
+        return 1 << self.bits
+
+    def point(self, key: Any) -> int:
+        """Return the identifier-space point for ``key`` (alias of ``__call__``)."""
+        return self(key)
+
+    def __call__(self, key: Any) -> int:
+        digest = key_digest(key)
+        return ((self.a * digest + self.b) % _PRIME) % self.space_size
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}(bits={self.bits})"
+
+
+class HashFamily:
+    """A sampler of pairwise-independent hash functions sharing one bit-width.
+
+    The family is seeded so that a simulation run is fully reproducible: the
+    same seed yields the same replication hash functions ``Hr`` and the same
+    timestamping function ``h_ts``.
+
+    Examples
+    --------
+    >>> family = HashFamily(bits=32, seed=7)
+    >>> h1, h2 = family.sample("a"), family.sample("b")
+    >>> h1("some-key") != h2("some-key")
+    True
+    """
+
+    def __init__(self, bits: int = 64, seed: Optional[int] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        if not 1 <= bits <= 512:
+            raise ValueError(f"bits must be in [1, 512], got {bits}")
+        if rng is not None and seed is not None:
+            raise ValueError("pass either 'seed' or 'rng', not both")
+        self.bits = bits
+        self._rng = rng if rng is not None else random.Random(seed)
+        self._sampled: List[PairwiseIndependentHash] = []
+
+    @property
+    def sampled(self) -> Sequence[PairwiseIndependentHash]:
+        """All hash functions sampled from this family so far, in order."""
+        return tuple(self._sampled)
+
+    def sample(self, name: Optional[str] = None) -> PairwiseIndependentHash:
+        """Draw a fresh hash function from the family.
+
+        Parameters
+        ----------
+        name:
+            Optional identifier; defaults to ``"h-<index>"``.
+        """
+        a = self._rng.randrange(1, _PRIME)
+        b = self._rng.randrange(0, _PRIME)
+        if name is None:
+            name = f"h-{len(self._sampled)}"
+        fn = PairwiseIndependentHash(name=name, a=a, b=b, bits=self.bits)
+        self._sampled.append(fn)
+        return fn
+
+    def sample_many(self, count: int, prefix: str = "hr") -> List[PairwiseIndependentHash]:
+        """Draw ``count`` hash functions named ``<prefix>-0 .. <prefix>-(count-1)``.
+
+        This is the helper used to build the replication set ``Hr``.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        return [self.sample(f"{prefix}-{index}") for index in range(count)]
+
+    def __iter__(self) -> Iterator[PairwiseIndependentHash]:
+        return iter(self._sampled)
+
+    def __len__(self) -> int:
+        return len(self._sampled)
+
+
+def collision_probability(functions: Iterable[PairwiseIndependentHash],
+                          keys: Iterable[Any]) -> float:
+    """Empirical probability that two distinct keys collide under one function.
+
+    Utility used by tests and the analysis notebook-style example to sanity
+    check the pairwise-independence construction: for a family over ``2^bits``
+    points the collision probability of a random pair should be ~``2^-bits``.
+    """
+    functions = list(functions)
+    keys = list(keys)
+    if len(keys) < 2 or not functions:
+        return 0.0
+    collisions = 0
+    pairs = 0
+    for fn in functions:
+        points = [fn(key) for key in keys]
+        for i in range(len(points)):
+            for j in range(i + 1, len(points)):
+                pairs += 1
+                if points[i] == points[j]:
+                    collisions += 1
+    return collisions / pairs if pairs else 0.0

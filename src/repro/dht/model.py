@@ -1,0 +1,236 @@
+"""Abstract DHT model (Section 2.1 of the paper).
+
+The paper models a DHT by its *mapping function* ``m(k, h, t)``: the peer that
+is responsible for key ``k`` with respect to hash function ``h`` at time ``t``.
+This module provides:
+
+* :class:`DHTProtocol` — the interface the overlay implementations (Chord,
+  CAN) provide to the network layer: membership changes, responsibility
+  resolution (``rsp(k, h)``) and greedy routing paths;
+* :class:`ResponsibilityLog` — a record of responsibility periods
+  (Definition 1 / Example 1), exposing ``rsp``, ``prsp`` and the list of
+  ``[t0..t1)`` periods of responsibility for a key;
+* small result dataclasses shared by the overlays and the network layer.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "DHTProtocol",
+    "DepartureReason",
+    "LookupResult",
+    "ResponsibilityLog",
+    "ResponsibilityPeriod",
+    "RouteResult",
+]
+
+
+#: How a node left the overlay; normal leaves allow the direct counter
+#: initialisation algorithm, failures force the indirect one.
+class DepartureReason:
+    LEAVE = "leave"
+    FAIL = "fail"
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """Result of routing from an origin node towards an identifier point.
+
+    Attributes
+    ----------
+    path:
+        Node identifiers visited, starting at the origin and ending at the
+        responsible node.  ``len(path) - 1`` is the number of routing hops.
+    responsible:
+        The node responsible for the target point (always ``path[-1]``).
+    retries:
+        Extra messages spent skipping fingers that point to departed nodes.
+    timeouts:
+        How many of those retries hit a *failed* node (these cost a timeout
+        delay in the cost model; nodes that left normally redirect cheaply).
+    """
+
+    path: Tuple[int, ...]
+    responsible: int
+    retries: int = 0
+    timeouts: int = 0
+
+    @property
+    def hops(self) -> int:
+        """Number of routing hops (messages) along the path."""
+        return max(0, len(self.path) - 1)
+
+    @property
+    def message_count(self) -> int:
+        """Total messages attributable to the route, including retries."""
+        return self.hops + self.retries
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Result of the DHT lookup service for ``rsp(k, h)`` seen from a peer."""
+
+    key: object
+    hash_name: str
+    point: int
+    responsible: int
+    route: RouteResult
+
+    @property
+    def hops(self) -> int:
+        return self.route.hops
+
+
+class DHTProtocol(abc.ABC):
+    """Interface of an overlay protocol (Chord, CAN).
+
+    The overlay tracks only membership and responsibility over the identifier
+    space ``[0, 2^bits)``; data placement, replication and services live above
+    it (in :class:`repro.dht.network.DHTNetwork` and :mod:`repro.core`).
+    """
+
+    #: number of bits of the identifier space
+    bits: int
+
+    # --------------------------------------------------------------- topology
+    @abc.abstractmethod
+    def add_node(self, node_id: int, *, now: float = 0.0) -> Set[int]:
+        """Add ``node_id`` to the overlay.
+
+        Returns the set of *affected* live nodes — the nodes that may have
+        lost responsibility for part of their identifier range to the new
+        node.  The network layer re-examines their stored data and hands over
+        what now belongs to the newcomer (this is what makes the overlay
+        *Responsibility Loss Aware*, Section 4.3).
+        """
+
+    @abc.abstractmethod
+    def remove_node(self, node_id: int, *, reason: str = DepartureReason.LEAVE,
+                    now: float = 0.0) -> None:
+        """Remove ``node_id`` from the overlay (normal leave or failure)."""
+
+    @abc.abstractmethod
+    def nodes(self) -> Sequence[int]:
+        """Identifiers of the live nodes, in protocol-defined order."""
+
+    @abc.abstractmethod
+    def __contains__(self, node_id: int) -> bool:
+        """Whether ``node_id`` is a live overlay node."""
+
+    def __len__(self) -> int:
+        return len(self.nodes())
+
+    # ----------------------------------------------------------- responsibility
+    @abc.abstractmethod
+    def responsible_for(self, point: int) -> int:
+        """The live node currently responsible for identifier ``point``.
+
+        This is the overlay-level realisation of the paper's ``rsp(k, h)``
+        where ``point = h(k)``.
+        """
+
+    @abc.abstractmethod
+    def next_responsible(self, point: int) -> Optional[int]:
+        """The node that would take over ``point`` if its responsible departed.
+
+        This is the paper's ``nrsp(k, h)``.  Both Chord and CAN guarantee the
+        next responsible is a *neighbour* of the current one (Section 4.2.1),
+        which is what makes the direct counter-transfer algorithm O(1).
+        """
+
+    @abc.abstractmethod
+    def neighbors(self, node_id: int) -> Set[int]:
+        """The overlay neighbours of ``node_id`` (routing-table peers)."""
+
+    # ------------------------------------------------------------------ routing
+    @abc.abstractmethod
+    def route(self, origin: int, point: int, *, now: float = 0.0) -> RouteResult:
+        """Greedy-route from ``origin`` towards ``point``.
+
+        The returned path ends at ``responsible_for(point)``.  Implementations
+        model routing-state staleness (e.g. Chord fingers pointing at departed
+        peers) through the ``retries``/``timeouts`` fields of the result.
+        """
+
+    # ---------------------------------------------------------------- utilities
+    def random_node(self, rng) -> int:
+        """A uniformly random live node (raises ``IndexError`` when empty)."""
+        members = self.nodes()
+        return members[rng.randrange(len(members))]
+
+
+@dataclass(frozen=True)
+class ResponsibilityPeriod:
+    """A half-open interval ``[start..end)`` during which ``peer`` was
+    responsible for a key (``end`` is ``None`` while the period is open)."""
+
+    peer: int
+    start: float
+    end: Optional[float] = None
+
+    def contains(self, time: float) -> bool:
+        """Whether ``time`` falls inside the period."""
+        if time < self.start:
+            return False
+        return self.end is None or time < self.end
+
+
+class ResponsibilityLog:
+    """History of the mapping function ``m(k, h, t)`` for a set of tracked keys.
+
+    The network layer records a transition every time the responsible for a
+    tracked ``(key, hash)`` pair changes.  The log then answers the queries the
+    paper defines in Section 2.1: current responsible ``rsp``, previous
+    responsible ``prsp`` and the periods of responsibility.
+    """
+
+    def __init__(self) -> None:
+        self._periods: Dict[Tuple[object, str], List[ResponsibilityPeriod]] = {}
+
+    def record(self, key: object, hash_name: str, peer: int, time: float) -> None:
+        """Record that ``peer`` became responsible for ``(key, hash_name)`` at ``time``.
+
+        Recording the same peer twice in a row is a no-op (the responsibility
+        did not actually change).
+        """
+        history = self._periods.setdefault((key, hash_name), [])
+        if history and history[-1].peer == peer and history[-1].end is None:
+            return
+        if history and history[-1].end is None:
+            history[-1] = ResponsibilityPeriod(peer=history[-1].peer,
+                                               start=history[-1].start, end=time)
+        history.append(ResponsibilityPeriod(peer=peer, start=time))
+
+    def periods(self, key: object, hash_name: str) -> List[ResponsibilityPeriod]:
+        """All recorded periods of responsibility for ``(key, hash_name)``."""
+        return list(self._periods.get((key, hash_name), []))
+
+    def rsp(self, key: object, hash_name: str) -> Optional[int]:
+        """The peer currently responsible for the key (paper's ``rsp(k,h)``)."""
+        history = self._periods.get((key, hash_name))
+        if not history:
+            return None
+        return history[-1].peer
+
+    def prsp(self, key: object, hash_name: str) -> Optional[int]:
+        """The peer that was responsible just before the current one."""
+        history = self._periods.get((key, hash_name))
+        if not history or len(history) < 2:
+            return None
+        return history[-2].peer
+
+    def responsible_at(self, key: object, hash_name: str,
+                       time: float) -> Optional[int]:
+        """Evaluate the mapping function ``m(k, h, t)`` from the log."""
+        for period in self._periods.get((key, hash_name), []):
+            if period.contains(time):
+                return period.peer
+        return None
+
+    def tracked(self) -> List[Tuple[object, str]]:
+        """The ``(key, hash_name)`` pairs with at least one recorded period."""
+        return list(self._periods.keys())

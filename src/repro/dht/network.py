@@ -1,0 +1,365 @@
+"""In-process replicated DHT network.
+
+:class:`DHTNetwork` hosts a population of peers on top of an overlay protocol
+(:class:`~repro.dht.chord.ChordRing` or :class:`~repro.dht.can.CanSpace`) and
+exposes the two operations the paper assumes of the DHT (Section 2.2):
+
+* ``put_h(k, data)`` — store a pair at ``rsp(k, h)``;
+* ``get_h(k)``       — retrieve the pair stored at ``rsp(k, h)``;
+
+plus the churn operations (join, normal leave, failure) with the data handover
+behaviour of a *Responsibility Loss Aware* DHT: on joins and normal leaves the
+previous responsible hands its pairs to the new responsible, while failures
+lose the failed peer's replicas.
+
+Every operation can record its messages in an
+:class:`~repro.dht.messages.OperationTrace`, which the services and the
+simulation harness use for communication-cost and response-time accounting.
+Services that need to react to churn (notably KTS, for counter transfer and
+Rule 3 of the Valid Counter Set) register a :class:`NetworkObserver`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Union
+
+from repro.dht.can import CanSpace
+from repro.dht.chord import ChordRing
+from repro.dht.errors import EmptyNetworkError, NoSuchPeerError
+from repro.dht.hashing import PairwiseIndependentHash
+from repro.dht.messages import MessageKind, MessageSizes, OperationTrace
+from repro.dht.model import DepartureReason, DHTProtocol, LookupResult, ResponsibilityLog
+from repro.dht.storage import LocalStore, StoredValue
+
+__all__ = ["DHTNetwork", "NetworkObserver", "NetworkStats", "PeerState"]
+
+
+class NetworkObserver:
+    """Callbacks invoked by the network when membership changes.
+
+    Subclasses override the hooks they care about; the defaults are no-ops.
+    """
+
+    def peer_joined(self, network: "DHTNetwork", peer_id: int,
+                    affected: Set[int]) -> None:
+        """A new peer joined; ``affected`` are peers that may have lost keys to it."""
+
+    def peer_leaving(self, network: "DHTNetwork", peer_id: int) -> None:
+        """A peer is about to leave normally (still part of the overlay)."""
+
+    def peer_left(self, network: "DHTNetwork", peer_id: int) -> None:
+        """A peer has left normally (already removed from the overlay)."""
+
+    def peer_failed(self, network: "DHTNetwork", peer_id: int) -> None:
+        """A peer failed abruptly (state lost, already removed from the overlay)."""
+
+
+@dataclass
+class PeerState:
+    """Mutable state of one peer: its local replica store and liveness."""
+
+    peer_id: int
+    store: LocalStore = field(default_factory=LocalStore)
+    joined_at: float = 0.0
+    alive: bool = True
+
+
+@dataclass
+class NetworkStats:
+    """Global counters maintained by the network (maintenance traffic etc.)."""
+
+    maintenance_messages: int = 0
+    handover_entries: int = 0
+    lost_entries: int = 0
+    joins: int = 0
+    leaves: int = 0
+    failures: int = 0
+
+
+class DHTNetwork:
+    """A population of peers running a DHT overlay with replica storage.
+
+    Parameters
+    ----------
+    protocol:
+        Either an already-built :class:`DHTProtocol`, or the string ``"chord"``
+        / ``"can"`` to build one with the given ``bits``.
+    bits:
+        Identifier-space size used when ``protocol`` is a string.
+    stabilization_interval:
+        Passed to the Chord overlay: how often (simulated seconds) peers
+        refresh their finger tables.  Governs how strongly failures degrade
+        routing (paper Figure 11).
+    seed / rng:
+        Randomness source for peer identifiers and random origins.
+    track_responsibility:
+        When ``True`` the network records responsibility transitions in
+        :attr:`responsibility_log` (Definition 1).  Off by default because the
+        log grows with churn.
+    """
+
+    def __init__(self, protocol: Union[str, DHTProtocol] = "chord", *,
+                 bits: int = 32, stabilization_interval: float = 30.0,
+                 seed: Optional[int] = None, rng: Optional[random.Random] = None,
+                 message_sizes: Optional[MessageSizes] = None,
+                 track_responsibility: bool = False) -> None:
+        if rng is not None and seed is not None:
+            raise ValueError("pass either 'seed' or 'rng', not both")
+        self.rng = rng if rng is not None else random.Random(seed)
+        if isinstance(protocol, str):
+            protocol = self._build_protocol(protocol, bits, stabilization_interval)
+        self.protocol = protocol
+        self.bits = protocol.bits
+        self.message_sizes = message_sizes if message_sizes is not None else MessageSizes()
+        self.track_responsibility = track_responsibility
+        self.responsibility_log = ResponsibilityLog()
+        self.now: float = 0.0
+        self.stats = NetworkStats()
+        self._peers: Dict[int, PeerState] = {}
+        self._departed_peers: Dict[int, PeerState] = {}
+        self._observers: List[NetworkObserver] = []
+
+    def _build_protocol(self, name: str, bits: int,
+                        stabilization_interval: float) -> DHTProtocol:
+        name = name.lower()
+        if name == "chord":
+            return ChordRing(bits=bits, stabilization_interval=stabilization_interval,
+                             rng=random.Random(self.rng.getrandbits(64)))
+        if name == "can":
+            return CanSpace(bits=bits, rng=random.Random(self.rng.getrandbits(64)))
+        raise ValueError(f"unknown protocol {name!r}; expected 'chord' or 'can'")
+
+    # ------------------------------------------------------------- construction
+    @classmethod
+    def build(cls, num_peers: int, *, protocol: Union[str, DHTProtocol] = "chord",
+              **kwargs: Any) -> "DHTNetwork":
+        """Create a network and join ``num_peers`` peers with fresh identifiers.
+
+        The maintenance counters are reset afterwards so that experiment
+        statistics only reflect post-construction activity.
+        """
+        if num_peers < 1:
+            raise ValueError("num_peers must be >= 1")
+        network = cls(protocol=protocol, **kwargs)
+        for _ in range(num_peers):
+            network.join_peer()
+        network.stats = NetworkStats()
+        return network
+
+    # ----------------------------------------------------------------- peers
+    @property
+    def size(self) -> int:
+        """Number of live peers."""
+        return len(self._peers)
+
+    def alive_peer_ids(self) -> List[int]:
+        """Identifiers of the live peers (overlay order)."""
+        return list(self.protocol.nodes())
+
+    def peer(self, peer_id: int) -> PeerState:
+        """The state of a live peer (raises :class:`NoSuchPeerError` otherwise)."""
+        state = self._peers.get(peer_id)
+        if state is None or not state.alive:
+            raise NoSuchPeerError(peer_id)
+        return state
+
+    def departed_peer(self, peer_id: int) -> Optional[PeerState]:
+        """The final state of a departed peer, if it ever existed."""
+        return self._departed_peers.get(peer_id)
+
+    def is_alive(self, peer_id: int) -> bool:
+        """Whether ``peer_id`` designates a live peer."""
+        return peer_id in self._peers
+
+    def random_alive_peer(self) -> int:
+        """A uniformly random live peer identifier."""
+        if not self._peers:
+            raise EmptyNetworkError("the network has no live peers")
+        return self.protocol.random_node(self.rng)
+
+    def new_peer_id(self) -> int:
+        """Draw an unused identifier from the overlay's identifier space."""
+        space = 1 << self.bits
+        while True:
+            candidate = self.rng.randrange(space)
+            if candidate not in self.protocol and candidate not in self._peers:
+                return candidate
+
+    def add_observer(self, observer: NetworkObserver) -> None:
+        """Register a membership observer (e.g. the KTS service)."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: NetworkObserver) -> None:
+        """Unregister a previously added observer."""
+        self._observers.remove(observer)
+
+    # ------------------------------------------------------------------ churn
+    def join_peer(self, peer_id: Optional[int] = None) -> int:
+        """Add a peer to the network, handing over the keys it now owns."""
+        if peer_id is None:
+            peer_id = self.new_peer_id()
+        affected = self.protocol.add_node(peer_id, now=self.now)
+        state = PeerState(peer_id=peer_id, joined_at=self.now)
+        self._peers[peer_id] = state
+        self.stats.joins += 1
+        for previous_owner in affected:
+            self._hand_over_entries(previous_owner, to_peer=peer_id)
+        for observer in self._observers:
+            observer.peer_joined(self, peer_id, set(affected))
+        return peer_id
+
+    def leave_peer(self, peer_id: int) -> None:
+        """Remove a peer *normally*: its replicas are handed to the new owners."""
+        state = self.peer(peer_id)
+        for observer in self._observers:
+            observer.peer_leaving(self, peer_id)
+        entries = state.store.values()
+        self.protocol.remove_node(peer_id, reason=DepartureReason.LEAVE, now=self.now)
+        state.alive = False
+        del self._peers[peer_id]
+        self.stats.leaves += 1
+        if self._peers:
+            for entry in entries:
+                new_owner = self.protocol.responsible_for(entry.point)
+                self._store_entry(new_owner, entry, record_responsibility=True)
+                self.stats.maintenance_messages += 1
+                self.stats.handover_entries += 1
+        else:
+            self.stats.lost_entries += len(entries)
+        state.store.clear()
+        self._departed_peers[peer_id] = state
+        for observer in self._observers:
+            observer.peer_left(self, peer_id)
+
+    def fail_peer(self, peer_id: int) -> None:
+        """Remove a peer *abruptly*: its replicas and counters are lost."""
+        state = self.peer(peer_id)
+        self.protocol.remove_node(peer_id, reason=DepartureReason.FAIL, now=self.now)
+        state.alive = False
+        del self._peers[peer_id]
+        self.stats.failures += 1
+        self.stats.lost_entries += len(state.store)
+        state.store.clear()
+        self._departed_peers[peer_id] = state
+        for observer in self._observers:
+            observer.peer_failed(self, peer_id)
+
+    def _hand_over_entries(self, previous_owner: int, *, to_peer: int) -> None:
+        """Move entries from ``previous_owner`` that now belong to ``to_peer``."""
+        if previous_owner not in self._peers or previous_owner == to_peer:
+            return
+        source = self._peers[previous_owner].store
+        for entry in source.values():
+            if self.protocol.responsible_for(entry.point) == to_peer:
+                source.delete(entry.hash_name, entry.key)
+                self._store_entry(to_peer, entry, record_responsibility=True)
+                self.stats.maintenance_messages += 1
+                self.stats.handover_entries += 1
+
+    def _store_entry(self, peer_id: int, entry: StoredValue, *,
+                     record_responsibility: bool = False) -> bool:
+        stored = self._peers[peer_id].store.put(entry)
+        if record_responsibility and self.track_responsibility:
+            self.responsibility_log.record(entry.key, entry.hash_name, peer_id, self.now)
+        return stored
+
+    # ------------------------------------------------------------------ lookup
+    def responsible_peer(self, key: Any, hash_fn: PairwiseIndependentHash) -> int:
+        """``rsp(k, h)``: the live peer responsible for ``key`` wrt ``hash_fn``."""
+        return self.protocol.responsible_for(hash_fn(key))
+
+    def lookup(self, key: Any, hash_fn: PairwiseIndependentHash, *,
+               origin: Optional[int] = None,
+               trace: Optional[OperationTrace] = None) -> LookupResult:
+        """Locate ``rsp(k, h)`` from ``origin`` through the overlay's routing.
+
+        Records one message per routing hop (plus retries around departed
+        fingers) in ``trace`` when provided.
+        """
+        origin = self._resolve_origin(origin)
+        point = hash_fn(key)
+        route = self.protocol.route(origin, point, now=self.now)
+        if trace is not None:
+            trace.record_route(route.path, retries=route.retries,
+                               timeouts=route.timeouts)
+        return LookupResult(key=key, hash_name=hash_fn.name, point=point,
+                            responsible=route.responsible, route=route)
+
+    def _resolve_origin(self, origin: Optional[int]) -> int:
+        if origin is not None and origin in self._peers:
+            return origin
+        return self.random_alive_peer()
+
+    # --------------------------------------------------------------------- put
+    def put(self, key: Any, hash_fn: PairwiseIndependentHash, data: Any, *,
+            timestamp: Any = None, version: Optional[int] = None,
+            origin: Optional[int] = None, trace: Optional[OperationTrace] = None,
+            unreachable: FrozenSet[int] = frozenset()) -> bool:
+        """The paper's ``put_h(k, data)``: store a replica at ``rsp(k, h)``.
+
+        Returns ``True`` when the responsible peer accepted (stored) the
+        replica, ``False`` when it kept a newer one or was unreachable.
+        ``unreachable`` injects the paper's motivating fault scenario — an
+        update that cannot reach one of the replica holders.
+        """
+        lookup = self.lookup(key, hash_fn, origin=origin, trace=trace)
+        responsible = lookup.responsible
+        if responsible in unreachable:
+            if trace is not None:
+                trace.record(MessageKind.PUT_REQUEST, dest=responsible, timed_out=True)
+            return False
+        if trace is not None:
+            trace.record_request_reply(MessageKind.PUT_REQUEST, MessageKind.PUT_ACK,
+                                       dest=responsible)
+        entry = StoredValue(key=key, data=data, timestamp=timestamp, version=version,
+                            hash_name=hash_fn.name, point=lookup.point,
+                            stored_at=self.now)
+        return self._store_entry(responsible, entry, record_responsibility=True)
+
+    # --------------------------------------------------------------------- get
+    def get(self, key: Any, hash_fn: PairwiseIndependentHash, *,
+            origin: Optional[int] = None, trace: Optional[OperationTrace] = None,
+            unreachable: FrozenSet[int] = frozenset()) -> Optional[StoredValue]:
+        """The paper's ``get_h(k)``: fetch the replica stored at ``rsp(k, h)``."""
+        lookup = self.lookup(key, hash_fn, origin=origin, trace=trace)
+        responsible = lookup.responsible
+        if responsible in unreachable:
+            if trace is not None:
+                trace.record(MessageKind.GET_REQUEST, dest=responsible, timed_out=True)
+            return None
+        if trace is not None:
+            trace.record_request_reply(MessageKind.GET_REQUEST, MessageKind.GET_REPLY,
+                                       dest=responsible)
+        return self._peers[responsible].store.get(hash_fn.name, key)
+
+    # ----------------------------------------------------------------- storage
+    def store_locally(self, peer_id: int, entry: StoredValue) -> bool:
+        """Store an entry directly at ``peer_id`` without routing (handover, tests)."""
+        self.peer(peer_id)
+        return self._store_entry(peer_id, entry)
+
+    def stored_replicas(self, key: Any,
+                        hash_fns: Iterable[PairwiseIndependentHash]) -> List[StoredValue]:
+        """All replicas of ``key`` currently held at their responsibles.
+
+        Diagnostic helper used by tests and by the probability-of-currency
+        estimator: for each hash function, look at the current responsible and
+        return its replica if it holds one.
+        """
+        replicas: List[StoredValue] = []
+        for hash_fn in hash_fns:
+            responsible = self.responsible_peer(key, hash_fn)
+            entry = self._peers[responsible].store.get(hash_fn.name, key)
+            if entry is not None:
+                replicas.append(entry)
+        return replicas
+
+    def new_trace(self) -> OperationTrace:
+        """A fresh :class:`OperationTrace` using the network's message sizes."""
+        return OperationTrace(sizes=self.message_sizes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"DHTNetwork(protocol={type(self.protocol).__name__}, "
+                f"peers={self.size}, now={self.now:.1f})")

@@ -1,0 +1,151 @@
+"""Per-peer local storage of replicated pairs ``(k, {data, timestamp})``.
+
+Each peer of the DHT stores, for every replication hash function ``h`` for
+which it is ``rsp(k, h)``, the pair ``(k, newData)`` where ``newData`` bundles
+the application data with either a KTS timestamp (UMS) or a version number
+(the BRK baseline).  The store implements the peer-side reconciliation rule of
+the paper's ``insert`` operation: an incoming replica only overwrites the local
+one if it carries a strictly newer timestamp (respectively a newer version).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["LocalStore", "StoredValue"]
+
+
+@dataclass(frozen=True)
+class StoredValue:
+    """One replica stored at a peer.
+
+    Attributes
+    ----------
+    key:
+        The application-level key ``k``.
+    data:
+        The application data.
+    timestamp:
+        The KTS timestamp attached by UMS (``None`` for BRK replicas).
+        Any totally-ordered value works; the services use
+        :class:`repro.core.timestamps.Timestamp`.
+    version:
+        The BRICKS-style version number (``None`` for UMS replicas).
+    hash_name:
+        Name of the replication hash function under which the replica was
+        placed (identifies *which* replica of ``k`` this is).
+    point:
+        The identifier-space point ``h(k)``; kept so churn-induced rebalancing
+        does not need to re-hash keys.
+    stored_at:
+        Simulated time at which the replica was last written (0.0 when no
+        clock is in use).
+    """
+
+    key: Any
+    data: Any
+    timestamp: Any = None
+    version: Optional[int] = None
+    hash_name: str = ""
+    point: int = 0
+    stored_at: float = 0.0
+
+    def is_newer_than(self, other: Optional["StoredValue"]) -> bool:
+        """Peer-side reconciliation rule (Section 3.2).
+
+        Returns ``True`` when this replica should overwrite ``other``:
+
+        * there is no existing replica, or
+        * both carry timestamps and this timestamp is strictly greater, or
+        * both carry versions and this version is greater or equal (BRICKS has
+          no tie-break, so the last writer wins on equal versions — that
+          ambiguity is exactly the baseline's documented weakness), or
+        * the existing replica carries neither timestamp nor version.
+        """
+        if other is None:
+            return True
+        if self.timestamp is not None and other.timestamp is not None:
+            return self.timestamp > other.timestamp
+        if self.version is not None and other.version is not None:
+            return self.version >= other.version
+        if other.timestamp is None and other.version is None:
+            return True
+        # Mixing stamped and un-stamped replicas for the same key: keep the
+        # stamped one.
+        return self.timestamp is not None or self.version is not None
+
+
+class LocalStore:
+    """Storage of one peer, indexed by ``(hash_name, key)``.
+
+    A peer may hold several replicas of the same key when it happens to be
+    responsible for the key under more than one replication hash function, so
+    the hash function name is part of the index.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, Any], StoredValue] = {}
+
+    # ------------------------------------------------------------------ write
+    def put(self, value: StoredValue, *, reconcile: bool = True) -> bool:
+        """Store ``value``; return ``True`` if the store was modified.
+
+        With ``reconcile=True`` (the default, and the paper's behaviour) the
+        incoming replica only replaces an existing one when
+        :meth:`StoredValue.is_newer_than` says so.
+        """
+        index = (value.hash_name, value.key)
+        existing = self._entries.get(index)
+        if reconcile and not value.is_newer_than(existing):
+            return False
+        self._entries[index] = value
+        return True
+
+    def delete(self, hash_name: str, key: Any) -> Optional[StoredValue]:
+        """Remove and return the replica of ``key`` under ``hash_name``."""
+        return self._entries.pop((hash_name, key), None)
+
+    def clear(self) -> None:
+        """Drop every replica (used when a peer's data is lost on failure)."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------- read
+    def get(self, hash_name: str, key: Any) -> Optional[StoredValue]:
+        """Return the replica of ``key`` placed by ``hash_name``, if any."""
+        return self._entries.get((hash_name, key))
+
+    def contains(self, hash_name: str, key: Any) -> bool:
+        """Whether a replica of ``key`` under ``hash_name`` is present."""
+        return (hash_name, key) in self._entries
+
+    def values(self) -> List[StoredValue]:
+        """All replicas held by the peer (copy of the current snapshot)."""
+        return list(self._entries.values())
+
+    def keys(self) -> List[Tuple[str, Any]]:
+        """All ``(hash_name, key)`` indexes currently stored."""
+        return list(self._entries.keys())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[StoredValue]:
+        return iter(list(self._entries.values()))
+
+    def __contains__(self, index: Tuple[str, Any]) -> bool:
+        return index in self._entries
+
+    def replicas_of(self, key: Any) -> List[StoredValue]:
+        """All replicas of ``key`` held by this peer, across hash functions."""
+        return [value for (_, stored_key), value in self._entries.items()
+                if stored_key == key]
+
+    def touch(self, hash_name: str, key: Any, stored_at: float) -> None:
+        """Update the ``stored_at`` time of an entry (used by handover)."""
+        index = (hash_name, key)
+        if index in self._entries:
+            self._entries[index] = replace(self._entries[index], stored_at=stored_at)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LocalStore(entries={len(self._entries)})"

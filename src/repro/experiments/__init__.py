@@ -1,0 +1,55 @@
+"""Experiment generators reproducing every table and figure of the paper.
+
+Each function returns an :class:`~repro.experiments.reporting.ExperimentTable`
+whose rows mirror the corresponding figure's series.  ``scale="quick"``
+produces reduced sweeps for fast runs; ``scale="paper"`` runs the full
+Table 1 configuration (up to 10,000 peers, 3 simulated hours).
+
+Run everything from the command line with::
+
+    python -m repro.experiments.runner --scale quick
+"""
+
+from repro.experiments.figures import (
+    SCALE_PROFILES,
+    ablation_overlay,
+    ablation_probe_order,
+    ablation_stabilization,
+    expected_retrievals_table,
+    figure6_cluster_scaleup,
+    figure7_simulated_scaleup,
+    figure8_messages_vs_peers,
+    figure9_replicas_response_time,
+    figure10_replicas_messages,
+    figure11_failure_rate,
+    figure12_update_frequency,
+    replica_sweep_results,
+    scaleup_results,
+    table1_parameters,
+)
+from repro.experiments.plots import ascii_chart, render_all
+from repro.experiments.reporting import ExperimentTable
+from repro.experiments.runner import run_all_experiments, write_experiments_report
+
+__all__ = [
+    "ExperimentTable",
+    "ascii_chart",
+    "render_all",
+    "SCALE_PROFILES",
+    "ablation_overlay",
+    "ablation_probe_order",
+    "ablation_stabilization",
+    "expected_retrievals_table",
+    "figure6_cluster_scaleup",
+    "figure7_simulated_scaleup",
+    "figure8_messages_vs_peers",
+    "figure9_replicas_response_time",
+    "figure10_replicas_messages",
+    "figure11_failure_rate",
+    "figure12_update_frequency",
+    "replica_sweep_results",
+    "run_all_experiments",
+    "scaleup_results",
+    "table1_parameters",
+    "write_experiments_report",
+]

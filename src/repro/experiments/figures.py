@@ -1,0 +1,402 @@
+"""Per-figure experiment generators (Section 5 of the paper).
+
+Every public function regenerates one table or figure of the paper's
+evaluation as an :class:`~repro.experiments.reporting.ExperimentTable`.  Each
+accepts a ``scale`` argument:
+
+* ``"quick"`` (default) — a reduced sweep that preserves the qualitative
+  shape (who wins, how curves trend) and completes in seconds; used by the
+  test suite and the default benchmark run;
+* ``"paper"`` — the full Table 1 scale (up to 10,000 peers, 3 simulated
+  hours), matching the parameter ranges of the original figures.
+
+All functions are deterministic for a given ``seed``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core import analysis
+from repro.experiments.reporting import ExperimentTable
+from repro.simulation.config import Algorithm, SimulationParameters
+from repro.simulation.harness import run_simulation
+from repro.simulation.results import RunResult
+
+__all__ = [
+    "SCALE_PROFILES",
+    "ablation_overlay",
+    "ablation_probe_order",
+    "ablation_stabilization",
+    "expected_retrievals_table",
+    "figure6_cluster_scaleup",
+    "figure7_simulated_scaleup",
+    "figure8_messages_vs_peers",
+    "figure9_replicas_response_time",
+    "figure10_replicas_messages",
+    "figure11_failure_rate",
+    "figure12_update_frequency",
+    "scaleup_results",
+    "table1_parameters",
+]
+
+#: Sweep ranges for the two scales.  "paper" mirrors the figures' x axes;
+#: "quick" keeps the same span with fewer/smaller points.
+#:
+#: ``departures_per_peer`` keeps the churn *intensity* of Table 1 constant when
+#: an experiment scales the population or the duration down: Table 1 runs
+#: 1 departure/second across 10,000 peers for ~3 hours, i.e. ~1.08 departures
+#: per peer over the experiment.  The network-wide churn rate of a run is then
+#: ``departures_per_peer * num_peers / duration`` (exactly 1/s at paper scale).
+SCALE_PROFILES: Dict[str, Dict[str, object]] = {
+    "tiny": {
+        # Minimal sweeps used by the unit tests: every experiment still runs
+        # end-to-end, but each sweep has only two points and a short horizon.
+        "cluster_peer_counts": (10, 30),
+        "peer_counts": (60, 120),
+        "replica_counts": (5, 15),
+        "failure_rates_percent": (5, 80),
+        "update_rates_per_hour": (1.0, 4.0),
+        "base_peers": 80,
+        "num_keys": 6,
+        "duration_s": 400.0,
+        "num_queries": 8,
+        "departures_per_peer": 1.08,
+    },
+    "quick": {
+        "cluster_peer_counts": (10, 20, 30, 40, 50, 60),
+        "peer_counts": (250, 500, 1000, 1500, 2000),
+        "replica_counts": (5, 10, 20, 30, 40),
+        "failure_rates_percent": (5, 20, 40, 60, 80, 90),
+        "update_rates_per_hour": (0.25, 0.5, 1.0, 2.0, 4.0),
+        "base_peers": 1000,
+        "num_keys": 20,
+        "duration_s": 1800.0,
+        "num_queries": 30,
+        "departures_per_peer": 1.08,
+    },
+    "paper": {
+        "cluster_peer_counts": (10, 20, 30, 40, 50, 60),
+        "peer_counts": (2000, 4000, 6000, 8000, 10000),
+        "replica_counts": (5, 10, 15, 20, 25, 30, 35, 40),
+        "failure_rates_percent": (5, 10, 20, 30, 40, 50, 60, 70, 80, 90),
+        "update_rates_per_hour": (0.0625, 0.125, 0.25, 0.5, 1.0, 2.0, 4.0),
+        "base_peers": 10000,
+        "num_keys": 50,
+        "duration_s": 3 * 3600.0,
+        "num_queries": 30,
+        "departures_per_peer": 1.0 * (3 * 3600.0) / 10000.0,
+    },
+}
+
+
+def _profile(scale: str) -> Dict[str, object]:
+    if scale not in SCALE_PROFILES:
+        raise ValueError(f"unknown scale {scale!r}; expected one of {sorted(SCALE_PROFILES)}")
+    return SCALE_PROFILES[scale]
+
+
+def _churn_rate(profile: Dict[str, object], num_peers: int) -> float:
+    """Network-wide churn rate preserving Table 1's per-peer churn intensity."""
+    return (float(profile["departures_per_peer"]) * num_peers
+            / float(profile["duration_s"]))
+
+
+def _metric(result: RunResult, metric: str) -> float:
+    if metric == "response_time":
+        return result.avg_response_time_s
+    if metric == "messages":
+        return result.avg_messages
+    if metric == "replicas_inspected":
+        return result.avg_replicas_inspected
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+def _run_sweep(x_values: Sequence, parameters_for: Callable[[object, str], SimulationParameters],
+               algorithms: Sequence[str]) -> Dict[Tuple[object, str], RunResult]:
+    """Run every (x, algorithm) combination and return the results."""
+    results: Dict[Tuple[object, str], RunResult] = {}
+    for x in x_values:
+        for algorithm in algorithms:
+            results[(x, algorithm)] = run_simulation(parameters_for(x, algorithm))
+    return results
+
+
+def _table_from_results(experiment_id: str, title: str, x_label: str,
+                        x_values: Sequence, algorithms: Sequence[str],
+                        results: Dict[Tuple[object, str], RunResult],
+                        metric: str, notes: str = "") -> ExperimentTable:
+    table = ExperimentTable(experiment_id=experiment_id, title=title, x_label=x_label,
+                            series=[Algorithm.label(algorithm) for algorithm in algorithms],
+                            notes=notes)
+    for x in x_values:
+        table.add_row(x, {Algorithm.label(algorithm): _metric(results[(x, algorithm)], metric)
+                          for algorithm in algorithms})
+    return table
+
+
+# --------------------------------------------------------------------- Table 1
+def table1_parameters(scale: str = "paper") -> ExperimentTable:
+    """Table 1: the simulation parameters, as configured in this reproduction."""
+    profile = _profile(scale)
+    parameters = SimulationParameters.table1(
+        num_peers=int(profile["base_peers"]), num_keys=int(profile["num_keys"]),
+        duration_s=float(profile["duration_s"]))
+    table = ExperimentTable(
+        experiment_id="table-1", title="Simulation parameters", x_label="parameter",
+        series=["value"],
+        notes="Latency/bandwidth are normally distributed per Table 1; departures and "
+              "updates are Poisson processes.")
+    rows = [
+        ("bandwidth (kbps, mean)", parameters.bandwidth_mean_bps / 1000.0),
+        ("latency (ms, mean)", parameters.latency_mean_s * 1000.0),
+        ("number of peers", parameters.num_peers),
+        ("|Hr| (replicas per data)", parameters.num_replicas),
+        ("peer departure rate (1/s)", parameters.churn_rate_per_s),
+        ("updates per data (1/hour)", parameters.update_rate_per_hour),
+        ("failure rate (% of departures)", parameters.failure_rate * 100.0),
+        ("data items", parameters.num_keys),
+        ("queries per experiment", parameters.num_queries),
+        ("experiment duration (s)", parameters.duration_s),
+    ]
+    for name, value in rows:
+        table.add_row(name, {"value": value})
+    return table
+
+
+# ------------------------------------------------------- Theorem 1 / cost model
+def expected_retrievals_table(pt_values: Sequence[float] = (0.1, 0.2, 0.35, 0.5, 0.7, 0.9, 1.0),
+                              num_replicas: int = 10) -> ExperimentTable:
+    """Section 3.3: expected number of retrieved replicas vs ``pt`` (Theorem 1).
+
+    Includes the paper's headline data point: with ``pt = 0.35`` the expected
+    number of retrieved replicas is below 3.
+    """
+    table = ExperimentTable(
+        experiment_id="theorem-1", title="Expected retrieved replicas vs pt",
+        x_label="pt", series=["E[X] (Eq. 1)", "E[probes]", "1/pt bound", "min(1/pt, |Hr|)"],
+        notes=f"|Hr| = {num_replicas}. E[X] follows Equation 1; the bound is Theorem 1.")
+    for pt in pt_values:
+        table.add_row(pt, {
+            "E[X] (Eq. 1)": analysis.expected_retrievals(pt, num_replicas),
+            "E[probes]": analysis.expected_probes(pt, num_replicas),
+            "1/pt bound": analysis.expected_retrievals_upper_bound(pt),
+            "min(1/pt, |Hr|)": analysis.retrieval_bound(pt, num_replicas),
+        })
+    return table
+
+
+# ------------------------------------------------------------------- Figure 6
+def figure6_cluster_scaleup(scale: str = "quick", *, seed: int = 2007,
+                            metric: str = "response_time") -> ExperimentTable:
+    """Figure 6: response time vs number of peers on the 64-node cluster."""
+    profile = _profile(scale)
+    peer_counts = list(profile["cluster_peer_counts"])
+    algorithms = list(Algorithm.ALL)
+
+    def parameters_for(num_peers: int, algorithm: str) -> SimulationParameters:
+        return SimulationParameters.cluster(
+            num_peers=num_peers, algorithm=algorithm, seed=seed,
+            num_queries=int(profile["num_queries"]),
+            churn_rate_per_s=_churn_rate(profile, num_peers))
+
+    results = _run_sweep(peer_counts, parameters_for, algorithms)
+    return _table_from_results(
+        "figure-6", "Response time vs number of peers (cluster)", "peers",
+        peer_counts, algorithms, results, metric,
+        notes="Cluster cost model (LAN); all three algorithms grow logarithmically, "
+              "UMS-Direct < UMS-Indirect < BRK.")
+
+
+# --------------------------------------------------------------- Figures 7 & 8
+def scaleup_results(scale: str = "quick", *, seed: int = 2007
+                    ) -> Tuple[List[int], List[str], Dict[Tuple[object, str], RunResult]]:
+    """The shared sweep behind Figures 7 and 8 (response time & messages vs peers)."""
+    profile = _profile(scale)
+    peer_counts = list(profile["peer_counts"])
+    algorithms = list(Algorithm.ALL)
+
+    def parameters_for(num_peers: int, algorithm: str) -> SimulationParameters:
+        return SimulationParameters.table1(
+            num_peers=num_peers, algorithm=algorithm, seed=seed,
+            num_keys=int(profile["num_keys"]), duration_s=float(profile["duration_s"]),
+            num_queries=int(profile["num_queries"]),
+            churn_rate_per_s=_churn_rate(profile, num_peers))
+
+    return peer_counts, algorithms, _run_sweep(peer_counts, parameters_for, algorithms)
+
+
+def figure7_simulated_scaleup(scale: str = "quick", *, seed: int = 2007,
+                              precomputed=None) -> ExperimentTable:
+    """Figure 7: response time vs number of peers (wide-area simulation)."""
+    peer_counts, algorithms, results = precomputed or scaleup_results(scale, seed=seed)
+    return _table_from_results(
+        "figure-7", "Response time vs number of peers (simulation)", "peers",
+        peer_counts, algorithms, results, "response_time",
+        notes="Table 1 parameters; response time grows logarithmically with peers.")
+
+
+def figure8_messages_vs_peers(scale: str = "quick", *, seed: int = 2007,
+                              precomputed=None) -> ExperimentTable:
+    """Figure 8: communication cost (total messages) vs number of peers."""
+    peer_counts, algorithms, results = precomputed or scaleup_results(scale, seed=seed)
+    return _table_from_results(
+        "figure-8", "Communication cost vs number of peers", "peers",
+        peer_counts, algorithms, results, "messages",
+        notes="BRK retrieves every replica (≈|Hr| lookups); UMS needs the KTS lookup "
+              "plus a couple of probes.")
+
+
+# -------------------------------------------------------------- Figures 9 & 10
+def replica_sweep_results(scale: str = "quick", *, seed: int = 2007
+                          ) -> Tuple[List[int], List[str], Dict[Tuple[object, str], RunResult]]:
+    """The shared sweep behind Figures 9 and 10 (|Hr| sweep at the base population)."""
+    profile = _profile(scale)
+    replica_counts = list(profile["replica_counts"])
+    algorithms = list(Algorithm.ALL)
+
+    def parameters_for(num_replicas: int, algorithm: str) -> SimulationParameters:
+        return SimulationParameters.table1(
+            num_peers=int(profile["base_peers"]), num_replicas=num_replicas,
+            algorithm=algorithm, seed=seed, num_keys=int(profile["num_keys"]),
+            duration_s=float(profile["duration_s"]),
+            num_queries=int(profile["num_queries"]),
+            churn_rate_per_s=_churn_rate(profile, int(profile["base_peers"])))
+
+    return replica_counts, algorithms, _run_sweep(replica_counts, parameters_for, algorithms)
+
+
+def figure9_replicas_response_time(scale: str = "quick", *, seed: int = 2007,
+                                   precomputed=None) -> ExperimentTable:
+    """Figure 9: response time vs number of replicas (|Hr| from 5 to 40)."""
+    replica_counts, algorithms, results = precomputed or replica_sweep_results(scale, seed=seed)
+    return _table_from_results(
+        "figure-9", "Response time vs number of replicas", "replicas",
+        replica_counts, algorithms, results, "response_time",
+        notes="The replica count strongly affects BRK, slightly affects UMS-Indirect "
+              "and has no systematic effect on UMS-Direct.")
+
+
+def figure10_replicas_messages(scale: str = "quick", *, seed: int = 2007,
+                               precomputed=None) -> ExperimentTable:
+    """Figure 10: communication cost vs number of replicas."""
+    replica_counts, algorithms, results = precomputed or replica_sweep_results(scale, seed=seed)
+    return _table_from_results(
+        "figure-10", "Communication cost vs number of replicas", "replicas",
+        replica_counts, algorithms, results, "messages",
+        notes="BRK's message count grows linearly with |Hr|.")
+
+
+# ------------------------------------------------------------------- Figure 11
+def figure11_failure_rate(scale: str = "quick", *, seed: int = 2007,
+                          metric: str = "response_time") -> ExperimentTable:
+    """Figure 11: response time vs failure rate (percentage of departures that fail)."""
+    profile = _profile(scale)
+    failure_rates = list(profile["failure_rates_percent"])
+    algorithms = list(Algorithm.ALL)
+
+    def parameters_for(failure_percent: float, algorithm: str) -> SimulationParameters:
+        return SimulationParameters.table1(
+            num_peers=int(profile["base_peers"]), failure_rate=failure_percent / 100.0,
+            algorithm=algorithm, seed=seed, num_keys=int(profile["num_keys"]),
+            duration_s=float(profile["duration_s"]),
+            num_queries=int(profile["num_queries"]),
+            churn_rate_per_s=_churn_rate(profile, int(profile["base_peers"])))
+
+    results = _run_sweep(failure_rates, parameters_for, algorithms)
+    return _table_from_results(
+        "figure-11", "Response time vs failure rate", "failure rate (%)",
+        failure_rates, algorithms, results, metric,
+        notes="Failures leave stale routing state and lost counters; at high failure "
+              "rates UMS-Direct converges towards UMS-Indirect.")
+
+
+# ------------------------------------------------------------------- Figure 12
+def figure12_update_frequency(scale: str = "quick", *, seed: int = 2007,
+                              metric: str = "response_time") -> ExperimentTable:
+    """Figure 12: response time vs update frequency (updates per hour, UMS only)."""
+    profile = _profile(scale)
+    update_rates = list(profile["update_rates_per_hour"])
+    algorithms = [Algorithm.UMS_INDIRECT, Algorithm.UMS_DIRECT]
+
+    def parameters_for(rate_per_hour: float, algorithm: str) -> SimulationParameters:
+        return SimulationParameters.table1(
+            num_peers=int(profile["base_peers"]), update_rate_per_hour=rate_per_hour,
+            algorithm=algorithm, seed=seed, num_keys=int(profile["num_keys"]),
+            duration_s=float(profile["duration_s"]),
+            num_queries=int(profile["num_queries"]),
+            churn_rate_per_s=_churn_rate(profile, int(profile["base_peers"])))
+
+    results = _run_sweep(update_rates, parameters_for, algorithms)
+    return _table_from_results(
+        "figure-12", "Response time vs frequency of updates", "updates/hour",
+        update_rates, algorithms, results, metric,
+        notes="More frequent updates raise the probability of currency and availability, "
+              "so fewer replicas need to be retrieved.")
+
+
+# ------------------------------------------------------------------- Ablations
+def ablation_probe_order(scale: str = "quick", *, seed: int = 2007) -> ExperimentTable:
+    """Ablation: random vs fixed replica probe order in UMS.retrieve."""
+    profile = _profile(scale)
+    orders = ["random", "fixed"]
+    table = ExperimentTable(
+        experiment_id="ablation-probe-order", title="UMS probe order ablation",
+        x_label="probe order", series=["response time (s)", "messages", "replicas inspected"],
+        notes="Random order matches the geometric analysis of Section 3.3.")
+    for order in orders:
+        parameters = SimulationParameters.table1(
+            num_peers=int(profile["base_peers"]), algorithm=Algorithm.UMS_DIRECT,
+            probe_order=order, seed=seed, num_keys=int(profile["num_keys"]),
+            duration_s=float(profile["duration_s"]), num_queries=int(profile["num_queries"]),
+            churn_rate_per_s=_churn_rate(profile, int(profile["base_peers"])))
+        result = run_simulation(parameters)
+        table.add_row(order, {"response time (s)": result.avg_response_time_s,
+                              "messages": result.avg_messages,
+                              "replicas inspected": result.avg_replicas_inspected})
+    return table
+
+
+def ablation_stabilization(scale: str = "quick", *, seed: int = 2007,
+                           intervals: Sequence[float] = (0.0, 30.0, 120.0, 600.0)
+                           ) -> ExperimentTable:
+    """Ablation: Chord finger-table stabilisation interval under the default churn."""
+    profile = _profile(scale)
+    table = ExperimentTable(
+        experiment_id="ablation-stabilization", title="Stabilisation interval ablation",
+        x_label="stabilisation interval (s)", series=["response time (s)", "messages"],
+        notes="Longer intervals leave more stale fingers after failures, inflating "
+              "routing retries and timeouts (the mechanism behind Figure 11).")
+    for interval in intervals:
+        parameters = SimulationParameters.table1(
+            num_peers=int(profile["base_peers"]), algorithm=Algorithm.UMS_DIRECT,
+            stabilization_interval_s=interval, failure_rate=0.5, seed=seed,
+            num_keys=int(profile["num_keys"]), duration_s=float(profile["duration_s"]),
+            num_queries=int(profile["num_queries"]),
+            churn_rate_per_s=_churn_rate(profile, int(profile["base_peers"])))
+        result = run_simulation(parameters)
+        table.add_row(interval, {"response time (s)": result.avg_response_time_s,
+                                 "messages": result.avg_messages})
+    return table
+
+
+def ablation_overlay(scale: str = "quick", *, seed: int = 2007) -> ExperimentTable:
+    """Ablation: Chord vs CAN overlay under an identical UMS workload."""
+    profile = _profile(scale)
+    # CAN routing is O(n^(1/d)) and the responsibility search is linear in the
+    # number of zones, so the overlay comparison runs on a smaller population.
+    num_peers = min(200, int(profile["base_peers"]))
+    table = ExperimentTable(
+        experiment_id="ablation-overlay", title="Overlay ablation (Chord vs CAN)",
+        x_label="overlay", series=["response time (s)", "messages", "currency rate"],
+        notes=f"UMS-Direct over {num_peers} peers; CAN pays more routing hops "
+              "(O(n^1/d) vs O(log n)) but the currency guarantees are identical.")
+    for protocol in ("chord", "can"):
+        parameters = SimulationParameters.quick(
+            num_peers=num_peers, algorithm=Algorithm.UMS_DIRECT, protocol=protocol,
+            seed=seed, num_queries=int(profile["num_queries"]))
+        result = run_simulation(parameters)
+        table.add_row(protocol, {"response time (s)": result.avg_response_time_s,
+                                 "messages": result.avg_messages,
+                                 "currency rate": result.currency_rate})
+    return table

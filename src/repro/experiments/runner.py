@@ -1,0 +1,97 @@
+"""Run every reproduced experiment and render a Markdown report.
+
+Usage::
+
+    python -m repro.experiments.runner --scale quick
+    python -m repro.experiments.runner --scale paper --output results.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, TextIO
+
+from repro.experiments import figures
+from repro.experiments.reporting import ExperimentTable
+
+__all__ = ["run_all_experiments", "write_experiments_report", "main"]
+
+
+def run_all_experiments(scale: str = "quick", *, seed: int = 2007,
+                        include_ablations: bool = True) -> List[ExperimentTable]:
+    """Regenerate every table/figure of the paper (plus the ablations).
+
+    The shared sweeps behind Figures 7/8 and 9/10 are each run once and reused
+    for both tables.
+    """
+    tables: List[ExperimentTable] = [
+        figures.table1_parameters(scale),
+        figures.expected_retrievals_table(),
+        figures.figure6_cluster_scaleup(scale, seed=seed),
+    ]
+    scaleup = figures.scaleup_results(scale, seed=seed)
+    tables.append(figures.figure7_simulated_scaleup(scale, seed=seed, precomputed=scaleup))
+    tables.append(figures.figure8_messages_vs_peers(scale, seed=seed, precomputed=scaleup))
+    replica_sweep = figures.replica_sweep_results(scale, seed=seed)
+    tables.append(figures.figure9_replicas_response_time(scale, seed=seed,
+                                                         precomputed=replica_sweep))
+    tables.append(figures.figure10_replicas_messages(scale, seed=seed,
+                                                     precomputed=replica_sweep))
+    tables.append(figures.figure11_failure_rate(scale, seed=seed))
+    tables.append(figures.figure12_update_frequency(scale, seed=seed))
+    if include_ablations:
+        tables.append(figures.ablation_probe_order(scale, seed=seed))
+        tables.append(figures.ablation_stabilization(scale, seed=seed))
+        tables.append(figures.ablation_overlay(scale, seed=seed))
+    return tables
+
+
+def write_experiments_report(tables: List[ExperimentTable], stream: TextIO, *,
+                             scale: str, elapsed_s: Optional[float] = None,
+                             charts: bool = False) -> None:
+    """Render the tables (and optionally ASCII charts) as Markdown to ``stream``."""
+    from repro.experiments.plots import ascii_chart
+
+    stream.write("# Reproduced experiments — measured results\n\n")
+    stream.write(f"Scale profile: `{scale}`.\n")
+    if elapsed_s is not None:
+        stream.write(f"Total wall-clock time: {elapsed_s:.1f} s.\n")
+    stream.write("\n")
+    for table in tables:
+        stream.write(table.to_markdown())
+        stream.write("\n\n")
+        if charts and table.experiment_id.startswith("figure"):
+            stream.write("```\n" + ascii_chart(table) + "\n```\n\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(figures.SCALE_PROFILES), default="quick",
+                        help="sweep scale: 'quick' (seconds) or 'paper' (full Table 1 scale)")
+    parser.add_argument("--seed", type=int, default=2007, help="master random seed")
+    parser.add_argument("--output", default=None,
+                        help="write the Markdown report to this file (default: stdout)")
+    parser.add_argument("--no-ablations", action="store_true",
+                        help="skip the ablation studies")
+    parser.add_argument("--charts", action="store_true",
+                        help="append an ASCII chart under every figure table")
+    arguments = parser.parse_args(argv)
+
+    started = time.time()
+    tables = run_all_experiments(arguments.scale, seed=arguments.seed,
+                                 include_ablations=not arguments.no_ablations)
+    elapsed = time.time() - started
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            write_experiments_report(tables, handle, scale=arguments.scale,
+                                     elapsed_s=elapsed, charts=arguments.charts)
+    else:
+        write_experiments_report(tables, sys.stdout, scale=arguments.scale,
+                                 elapsed_s=elapsed, charts=arguments.charts)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Discrete-event simulation substrate (the SimJava substitute).
+
+The paper evaluates scalability with SimJava, an entity-based discrete-event
+simulator.  This sub-package provides the equivalent building blocks in pure
+Python:
+
+* :class:`repro.sim.engine.Simulator` — event heap + generator-based processes
+  (``yield env.timeout(dt)``) with the usual run-until semantics;
+* :mod:`repro.sim.processes` — Poisson arrival processes used for churn and
+  update workloads (Table 1);
+* :class:`repro.sim.cost.NetworkCostModel` — converts a message trace into a
+  response time using the latency/bandwidth distributions of Table 1 (plus a
+  cluster preset for the 64-node experiments);
+* :mod:`repro.sim.metrics` — tallies and counters for collecting results.
+"""
+
+from repro.sim.cost import NetworkCostModel
+from repro.sim.engine import Event, Process, SimulationError, Simulator, Timeout
+from repro.sim.metrics import Counter, Tally, TimeSeries
+from repro.sim.processes import PoissonProcess, poisson_arrival_times
+
+__all__ = [
+    "Counter",
+    "Event",
+    "NetworkCostModel",
+    "PoissonProcess",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Tally",
+    "TimeSeries",
+    "Timeout",
+    "poisson_arrival_times",
+]

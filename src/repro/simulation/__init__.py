@@ -1,0 +1,27 @@
+"""End-to-end simulation harness reproducing the paper's evaluation setup.
+
+The harness wires together the DHT substrate, the UMS/KTS/BRK services, the
+discrete-event engine and the Table 1 workload model (churn, per-key updates,
+uniformly spread queries), and produces per-query response times and message
+counts — the two metrics reported in Figures 6–12.
+"""
+
+from repro.simulation.config import Algorithm, SimulationParameters
+from repro.simulation.churn import ChurnEvent, ChurnProcess
+from repro.simulation.harness import SimulationHarness, run_simulation
+from repro.simulation.results import QueryObservation, RunResult
+from repro.simulation.workload import QuerySchedule, UpdateWorkload, payload_for
+
+__all__ = [
+    "Algorithm",
+    "ChurnEvent",
+    "ChurnProcess",
+    "QueryObservation",
+    "QuerySchedule",
+    "RunResult",
+    "SimulationHarness",
+    "SimulationParameters",
+    "UpdateWorkload",
+    "payload_for",
+    "run_simulation",
+]

@@ -1,0 +1,95 @@
+"""Churn model (Section 5.1).
+
+Peer departures are timed by a Poisson process with rate λ (Table 1:
+1/second).  At each departure a peer chosen uniformly at random leaves the
+network; with probability ``failure_rate`` the departure is a failure (the
+peer's replicas and counters are lost), otherwise it is a normal leave (data
+and counters are handed over).  Each departure is compensated by the join of a
+fresh peer, keeping the population constant as in the paper (following Rhea et
+al.'s churn methodology).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.dht.network import DHTNetwork
+from repro.sim.engine import Simulator
+from repro.sim.processes import PoissonProcess
+
+__all__ = ["ChurnEvent", "ChurnProcess"]
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """A record of one executed churn event."""
+
+    time: float
+    departed_peer: int
+    joined_peer: int
+    failed: bool
+
+
+class ChurnProcess:
+    """Drives Poisson churn on a :class:`DHTNetwork` through the event engine.
+
+    Parameters
+    ----------
+    sim / network:
+        The event engine and the network to churn.
+    rate_per_s:
+        Departure rate (Table 1: 1 departure/second network-wide).
+    failure_rate:
+        Fraction of departures that are failures rather than normal leaves.
+    min_population:
+        Safety floor: departures are skipped when the network would drop below
+        this size (keeps degenerate configurations well-defined).
+    """
+
+    def __init__(self, sim: Simulator, network: DHTNetwork, *, rate_per_s: float,
+                 failure_rate: float, rng: random.Random,
+                 until: Optional[float] = None, min_population: int = 2) -> None:
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError("failure_rate must be in [0, 1]")
+        self.sim = sim
+        self.network = network
+        self.failure_rate = failure_rate
+        self.rng = rng
+        self.min_population = min_population
+        self.events: List[ChurnEvent] = []
+        self._process: Optional[PoissonProcess] = None
+        if rate_per_s > 0:
+            self._process = PoissonProcess(sim, rate_per_s, self._churn_once,
+                                           rng=rng, until=until)
+
+    @property
+    def event_count(self) -> int:
+        """Number of churn events executed so far."""
+        return len(self.events)
+
+    @property
+    def failure_count(self) -> int:
+        """Number of those events that were failures."""
+        return sum(1 for event in self.events if event.failed)
+
+    def stop(self) -> None:
+        """Stop generating further churn events."""
+        if self._process is not None:
+            self._process.stop()
+
+    # ------------------------------------------------------------------ action
+    def _churn_once(self) -> None:
+        self.network.now = self.sim.now
+        if self.network.size <= self.min_population:
+            return
+        departing = self.network.random_alive_peer()
+        failed = self.rng.random() * 100.0 < self.failure_rate * 100.0
+        if failed:
+            self.network.fail_peer(departing)
+        else:
+            self.network.leave_peer(departing)
+        joined = self.network.join_peer()
+        self.events.append(ChurnEvent(time=self.sim.now, departed_peer=departing,
+                                      joined_peer=joined, failed=failed))

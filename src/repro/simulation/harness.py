@@ -1,0 +1,214 @@
+"""The simulation harness: one run = one parameter point for one algorithm.
+
+A run proceeds exactly as described in Section 5.1:
+
+1. build a network of ``num_peers`` peers and the replication scheme ``Hr``;
+2. insert the initial version of every data item;
+3. start the churn process (Poisson departures, 5 % failures, compensated by
+   joins) and the per-key Poisson update workload;
+4. issue ``num_queries`` retrieve operations at uniformly distributed times
+   and record, for each, the response time (via the network cost model) and
+   the number of messages;
+5. report the averages.
+
+The same harness runs UMS-Direct, UMS-Indirect and BRK so that the three
+algorithms face identical workloads (and, with the same seed, identical churn
+and update schedules).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.baseline import BricksService
+from repro.core.kts import CounterInitialization, KeyBasedTimestampService
+from repro.core.replication import ReplicationScheme
+from repro.core.ums import UpdateManagementService
+from repro.dht.hashing import HashFamily
+from repro.dht.network import DHTNetwork
+from repro.sim.cost import NetworkCostModel
+from repro.sim.engine import Simulator
+from repro.sim.metrics import TimeSeries
+from repro.simulation.churn import ChurnProcess
+from repro.simulation.config import Algorithm, SimulationParameters
+from repro.simulation.results import QueryObservation, RunResult
+from repro.simulation.workload import QuerySchedule, UpdateWorkload, default_keys, payload_for
+
+__all__ = ["SimulationHarness", "run_simulation"]
+
+
+class _RetrieveOutcome:
+    """Normalised view over UMS and BRK retrieve results."""
+
+    def __init__(self, trace, replicas_inspected: int, found: bool, is_current: bool) -> None:
+        self.trace = trace
+        self.replicas_inspected = replicas_inspected
+        self.found = found
+        self.is_current = is_current
+
+
+class SimulationHarness:
+    """Builds and runs one simulation described by :class:`SimulationParameters`."""
+
+    def __init__(self, parameters: SimulationParameters) -> None:
+        self.parameters = parameters
+        self._master_rng = random.Random(parameters.seed)
+        self.network: Optional[DHTNetwork] = None
+        self.replication: Optional[ReplicationScheme] = None
+        self.kts: Optional[KeyBasedTimestampService] = None
+        self.ums: Optional[UpdateManagementService] = None
+        self.brk: Optional[BricksService] = None
+        self.cost_model: Optional[NetworkCostModel] = None
+        self.sim: Optional[Simulator] = None
+        self.churn: Optional[ChurnProcess] = None
+        self.keys: List[str] = []
+        self._update_sequence: Dict[str, int] = {}
+        self._result: Optional[RunResult] = None
+        self._is_setup = False
+
+    # ------------------------------------------------------------------- setup
+    def setup(self) -> None:
+        """Build the network, the services and the initial data population."""
+        parameters = self.parameters
+        self.network = DHTNetwork.build(
+            parameters.num_peers, protocol=parameters.protocol, bits=parameters.bits,
+            stabilization_interval=parameters.stabilization_interval_s,
+            seed=self._master_rng.getrandbits(64))
+        family = HashFamily(bits=parameters.bits, seed=self._master_rng.getrandbits(64))
+        self.replication = ReplicationScheme(
+            family.sample_many(parameters.num_replicas, prefix="hr"))
+        initialization = (CounterInitialization.INDIRECT
+                          if parameters.algorithm == Algorithm.UMS_INDIRECT
+                          else CounterInitialization.DIRECT)
+        self.kts = KeyBasedTimestampService(
+            self.network, self.replication, ts_hash=family.sample("h-ts"),
+            initialization=initialization, seed=self._master_rng.getrandbits(64))
+        self.ums = UpdateManagementService(
+            self.network, self.kts, self.replication, probe_order=parameters.probe_order,
+            seed=self._master_rng.getrandbits(64))
+        self.brk = BricksService(self.network, self.replication,
+                                 seed=self._master_rng.getrandbits(64))
+        self.cost_model = parameters.build_cost_model(
+            rng=random.Random(self._master_rng.getrandbits(64)))
+        self.keys = default_keys(parameters.num_keys)
+        self._update_sequence = {key: 0 for key in self.keys}
+        for key in self.keys:
+            self._insert(key)
+        self._result = RunResult(algorithm=parameters.algorithm,
+                                 num_peers=parameters.num_peers,
+                                 num_replicas=parameters.num_replicas,
+                                 parameters=parameters.describe())
+        self._is_setup = True
+
+    # --------------------------------------------------------------- operations
+    def _insert(self, key: str) -> None:
+        """Write the next version of ``key`` with the configured algorithm."""
+        sequence = self._update_sequence[key]
+        payload = payload_for(key, sequence)
+        self._update_sequence[key] = sequence + 1
+        if self.parameters.algorithm == Algorithm.BRK:
+            self.brk.insert(key, payload)
+        else:
+            self.ums.insert(key, payload)
+
+    def _retrieve(self, key: str) -> _RetrieveOutcome:
+        """Read ``key`` with the configured algorithm, normalising the outcome."""
+        if self.parameters.algorithm == Algorithm.BRK:
+            outcome = self.brk.retrieve(key)
+            # BRK cannot certify that the returned replica is current, which is
+            # precisely the paper's point; report is_current=False.
+            return _RetrieveOutcome(outcome.trace, outcome.replicas_inspected,
+                                    outcome.found, is_current=False)
+        outcome = self.ums.retrieve(key)
+        return _RetrieveOutcome(outcome.trace, outcome.replicas_inspected,
+                                outcome.found, outcome.is_current)
+
+    # --------------------------------------------------------------------- run
+    def run(self) -> RunResult:
+        """Execute the workload and return the aggregated result."""
+        if not self._is_setup:
+            self.setup()
+        parameters = self.parameters
+        result = self._result
+        self.sim = Simulator()
+        self.network.now = 0.0
+
+        # Churn: Poisson departures compensated by joins.
+        self.churn = ChurnProcess(self.sim, self.network,
+                                  rate_per_s=parameters.churn_rate_per_s,
+                                  failure_rate=parameters.failure_rate,
+                                  rng=random.Random(self._master_rng.getrandbits(64)),
+                                  until=parameters.duration_s)
+
+        # Updates: per-key Poisson processes, materialised as a schedule.
+        update_rng = random.Random(self._master_rng.getrandbits(64))
+        updates = UpdateWorkload(self.keys, parameters.update_rate_per_hour,
+                                 update_rng).schedule(parameters.duration_s)
+        for event in updates:
+            self.sim.schedule(event.time, self._make_update_callback(event.key))
+
+        # Queries: uniformly distributed over the run.
+        query_rng = random.Random(self._master_rng.getrandbits(64))
+        queries = QuerySchedule(self.keys, parameters.num_queries,
+                                query_rng).schedule(parameters.duration_s)
+        for event in queries:
+            self.sim.schedule(event.time, self._make_query_callback(event.key))
+
+        # Optional maintenance / instrumentation processes.
+        if parameters.inspection_interval_s > 0 and parameters.algorithm != Algorithm.BRK:
+            self.sim.process(self._inspection_process(parameters.inspection_interval_s),
+                             name="periodic-inspection")
+        if parameters.currency_sample_interval_s > 0:
+            result.currency_series = TimeSeries("p_t")
+            self.sim.process(self._currency_sampling_process(
+                parameters.currency_sample_interval_s), name="currency-sampling")
+
+        self.sim.run(until=parameters.duration_s)
+
+        result.updates_performed = sum(self._update_sequence.values()) - len(self.keys)
+        result.churn_events = self.churn.event_count
+        result.failures = self.churn.failure_count
+        return result
+
+    def _inspection_process(self, interval_s: float):
+        """Periodic inspection (Section 4.2.2): responsibles re-check their counters."""
+        while True:
+            yield self.sim.timeout(interval_s)
+            self.network.now = self.sim.now
+            corrections = self.kts.inspect_counters()
+            self._result.inspections_performed += 1
+            self._result.counter_corrections += corrections
+
+    def _currency_sampling_process(self, interval_s: float):
+        """Sample the mean probability of currency and availability over all keys."""
+        while True:
+            yield self.sim.timeout(interval_s)
+            self.network.now = self.sim.now
+            probabilities = [self.ums.currency_probability(key) for key in self.keys]
+            self._result.currency_series.record(
+                self.sim.now, sum(probabilities) / len(probabilities))
+
+    def _make_update_callback(self, key: str) -> Callable[[], None]:
+        def callback() -> None:
+            self.network.now = self.sim.now
+            self._insert(key)
+        return callback
+
+    def _make_query_callback(self, key: str) -> Callable[[], None]:
+        def callback() -> None:
+            self.network.now = self.sim.now
+            outcome = self._retrieve(key)
+            response_time = self.cost_model.duration(outcome.trace)
+            self._result.record_query(QueryObservation(
+                time=self.sim.now, key=key, response_time_s=response_time,
+                messages=outcome.trace.message_count,
+                replicas_inspected=outcome.replicas_inspected,
+                found=outcome.found, is_current=outcome.is_current))
+        return callback
+
+
+def run_simulation(parameters: SimulationParameters) -> RunResult:
+    """Convenience wrapper: build a harness, run it, return the result."""
+    harness = SimulationHarness(parameters)
+    return harness.run()

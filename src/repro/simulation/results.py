@@ -1,0 +1,130 @@
+"""Result containers for simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.sim.metrics import Tally, TimeSeries
+
+__all__ = ["QueryObservation", "RunResult"]
+
+
+@dataclass(frozen=True)
+class QueryObservation:
+    """One measured query (retrieve) of the experiment."""
+
+    time: float
+    key: Any
+    response_time_s: float
+    messages: int
+    replicas_inspected: int
+    found: bool
+    is_current: bool
+
+
+@dataclass
+class RunResult:
+    """Aggregated outcome of one simulation run (one parameter point, one algorithm)."""
+
+    algorithm: str
+    num_peers: int
+    num_replicas: int
+    queries: List[QueryObservation] = field(default_factory=list)
+    updates_performed: int = 0
+    churn_events: int = 0
+    failures: int = 0
+    inspections_performed: int = 0
+    counter_corrections: int = 0
+    #: Samples of the average probability of currency and availability (p_t)
+    #: over the tracked keys; populated when
+    #: ``SimulationParameters.currency_sample_interval_s`` > 0.
+    currency_series: Optional[TimeSeries] = None
+    parameters: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------------ record
+    def record_query(self, observation: QueryObservation) -> None:
+        """Append one query observation."""
+        self.queries.append(observation)
+
+    # --------------------------------------------------------------- aggregates
+    @property
+    def query_count(self) -> int:
+        return len(self.queries)
+
+    @property
+    def response_time(self) -> Tally:
+        """Tally of per-query response times (seconds)."""
+        tally = Tally("response_time_s")
+        tally.extend(observation.response_time_s for observation in self.queries)
+        return tally
+
+    @property
+    def messages(self) -> Tally:
+        """Tally of per-query message counts (communication cost)."""
+        tally = Tally("messages")
+        tally.extend(float(observation.messages) for observation in self.queries)
+        return tally
+
+    @property
+    def replicas_inspected(self) -> Tally:
+        """Tally of the number of replicas each query retrieved."""
+        tally = Tally("replicas_inspected")
+        tally.extend(float(observation.replicas_inspected) for observation in self.queries)
+        return tally
+
+    @property
+    def avg_response_time_s(self) -> float:
+        """Average response time over the measured queries (the paper's metric)."""
+        return self.response_time.mean
+
+    @property
+    def avg_messages(self) -> float:
+        """Average total messages per query (the paper's communication cost)."""
+        return self.messages.mean
+
+    @property
+    def avg_replicas_inspected(self) -> float:
+        return self.replicas_inspected.mean
+
+    @property
+    def currency_rate(self) -> float:
+        """Fraction of queries that returned a replica known to be current."""
+        if not self.queries:
+            return 0.0
+        return sum(1 for observation in self.queries if observation.is_current) / len(self.queries)
+
+    @property
+    def found_rate(self) -> float:
+        """Fraction of queries that found at least one replica."""
+        if not self.queries:
+            return 0.0
+        return sum(1 for observation in self.queries if observation.found) / len(self.queries)
+
+    @property
+    def avg_currency_probability(self) -> float:
+        """Mean of the sampled p_t values (0.0 when sampling was disabled)."""
+        if self.currency_series is None or len(self.currency_series) == 0:
+            return 0.0
+        values = self.currency_series.values()
+        return sum(values) / len(values)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary used by the experiment tables and benchmarks."""
+        return {
+            "avg_response_time_s": self.avg_response_time_s,
+            "avg_messages": self.avg_messages,
+            "avg_replicas_inspected": self.avg_replicas_inspected,
+            "currency_rate": self.currency_rate,
+            "found_rate": self.found_rate,
+            "queries": float(self.query_count),
+            "updates": float(self.updates_performed),
+            "churn_events": float(self.churn_events),
+            "failures": float(self.failures),
+            "inspections": float(self.inspections_performed),
+            "counter_corrections": float(self.counter_corrections),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"RunResult(algorithm={self.algorithm!r}, peers={self.num_peers}, "
+                f"avg_rt={self.avg_response_time_s:.2f}s, avg_msgs={self.avg_messages:.1f})")

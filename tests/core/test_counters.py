@@ -1,0 +1,90 @@
+"""Unit tests for key counters and the Valid Counter Set rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.counters import KeyCounter, ValidCounterSet
+
+
+class TestKeyCounter:
+    def test_generate_increments_and_returns(self):
+        counter = KeyCounter(key="k")
+        assert counter.generate() == 1
+        assert counter.generate() == 2
+        assert counter.value == 2
+
+    def test_fresh_counter_reports_no_last_timestamp(self):
+        assert KeyCounter(key="k").last_generated() is None
+
+    def test_last_generated_after_generation(self):
+        counter = KeyCounter(key="k")
+        counter.generate()
+        assert counter.last_generated() == 1
+
+    def test_inexact_counter_reports_observed_value(self):
+        counter = KeyCounter(key="k", value=6, exact=False, last_known=5)
+        assert counter.last_generated() == 5
+
+    def test_inexact_counter_with_no_observation_reports_none(self):
+        counter = KeyCounter(key="k", value=1, exact=False, last_known=None)
+        assert counter.last_generated() is None
+
+    def test_generation_makes_counter_exact(self):
+        counter = KeyCounter(key="k", value=6, exact=False, last_known=5)
+        assert counter.generate() == 7
+        assert counter.exact
+        assert counter.last_generated() == 7
+
+    def test_correct_to_only_raises(self):
+        counter = KeyCounter(key="k", value=3)
+        assert counter.correct_to(10) is True
+        assert counter.value == 10
+        assert counter.correct_to(5) is False
+        assert counter.value == 10
+
+    def test_copy_for_transfer_is_independent(self):
+        counter = KeyCounter(key="k", value=3, exact=True, last_known=3)
+        copy = counter.copy_for_transfer()
+        copy.generate()
+        assert counter.value == 3
+        assert copy.value == 4
+
+
+class TestValidCounterSet:
+    def test_rule1_clear_on_join(self):
+        vcs = ValidCounterSet()
+        vcs.add(KeyCounter(key="k"))
+        vcs.clear()
+        assert len(vcs) == 0
+
+    def test_rule2_add_makes_counter_available(self):
+        vcs = ValidCounterSet()
+        counter = vcs.add(KeyCounter(key="k"))
+        assert "k" in vcs
+        assert vcs.get("k") is counter
+
+    def test_rule3_remove_on_responsibility_loss(self):
+        vcs = ValidCounterSet()
+        counter = vcs.add(KeyCounter(key="k"))
+        assert vcs.remove("k") is counter
+        assert "k" not in vcs
+        assert vcs.remove("k") is None
+
+    def test_add_replaces_existing_counter(self):
+        vcs = ValidCounterSet()
+        vcs.add(KeyCounter(key="k", value=1))
+        vcs.add(KeyCounter(key="k", value=9))
+        assert vcs.get("k").value == 9
+        assert len(vcs) == 1
+
+    def test_get_missing_returns_none(self):
+        assert ValidCounterSet().get("missing") is None
+
+    def test_keys_and_counters_snapshots(self):
+        vcs = ValidCounterSet()
+        vcs.add(KeyCounter(key="a"))
+        vcs.add(KeyCounter(key="b"))
+        assert sorted(vcs.keys()) == ["a", "b"]
+        assert len(vcs.counters()) == 2
+        assert len(list(vcs)) == 2

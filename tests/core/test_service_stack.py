@@ -1,0 +1,51 @@
+"""Unit tests for the build_service_stack factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CounterInitialization, build_service_stack
+
+
+class TestBuildServiceStack:
+    def test_stack_components_are_wired_together(self, small_stack):
+        assert small_stack.ums.network is small_stack.network
+        assert small_stack.ums.kts is small_stack.kts
+        assert small_stack.brk.network is small_stack.network
+        assert small_stack.kts.replication is small_stack.replication
+
+    def test_population_and_replication_factor(self):
+        stack = build_service_stack(num_peers=20, num_replicas=7, seed=1)
+        assert stack.network.size == 20
+        assert stack.replication.factor == 7
+
+    def test_same_seed_is_reproducible(self):
+        first = build_service_stack(num_peers=16, num_replicas=4, seed=99)
+        second = build_service_stack(num_peers=16, num_replicas=4, seed=99)
+        assert first.network.alive_peer_ids() == second.network.alive_peer_ids()
+        assert [h.name for h in first.replication] == [h.name for h in second.replication]
+        assert first.network.responsible_peer("k", first.replication[0]) == \
+            second.network.responsible_peer("k", second.replication[0])
+
+    def test_different_seeds_differ(self):
+        first = build_service_stack(num_peers=16, seed=1)
+        second = build_service_stack(num_peers=16, seed=2)
+        assert first.network.alive_peer_ids() != second.network.alive_peer_ids()
+
+    def test_initialization_mode_is_honoured(self):
+        stack = build_service_stack(num_peers=8, seed=1,
+                                    initialization=CounterInitialization.INDIRECT)
+        assert stack.kts.initialization == CounterInitialization.INDIRECT
+
+    def test_can_protocol_stack_works_end_to_end(self, can_stack):
+        can_stack.ums.insert("k", "payload")
+        result = can_stack.ums.retrieve("k")
+        assert result.data == "payload"
+        assert result.is_current
+
+    def test_ts_hash_is_distinct_from_replication_hashes(self, small_stack):
+        assert small_stack.kts.ts_hash.name not in small_stack.replication.names
+
+    def test_invalid_probe_order_rejected(self):
+        with pytest.raises(ValueError):
+            build_service_stack(num_peers=8, seed=1, probe_order="alphabetical")

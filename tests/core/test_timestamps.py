@@ -1,0 +1,62 @@
+"""Unit tests for per-key timestamps (Definition 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import IncomparableTimestampsError
+from repro.core.timestamps import Timestamp
+
+
+class TestOrdering:
+    def test_same_key_orders_by_value(self):
+        assert Timestamp("k", 1) < Timestamp("k", 2)
+        assert Timestamp("k", 2) > Timestamp("k", 1)
+        assert Timestamp("k", 2) >= Timestamp("k", 2)
+
+    def test_equality_requires_key_and_value(self):
+        assert Timestamp("k", 1) == Timestamp("k", 1)
+        assert Timestamp("k", 1) != Timestamp("other", 1)
+        assert Timestamp("k", 1) != Timestamp("k", 2)
+
+    def test_cross_key_comparison_raises(self):
+        with pytest.raises(IncomparableTimestampsError):
+            _ = Timestamp("a", 1) < Timestamp("b", 2)
+
+    def test_comparison_with_non_timestamp_is_not_implemented(self):
+        assert (Timestamp("k", 1) == 1) is False
+        with pytest.raises(TypeError):
+            _ = Timestamp("k", 1) < 1  # type: ignore[operator]
+
+    def test_hashable_and_usable_in_sets(self):
+        assert len({Timestamp("k", 1), Timestamp("k", 1), Timestamp("k", 2)}) == 2
+
+
+class TestConstruction:
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            Timestamp("k", -1)
+
+    def test_next_increments_value(self):
+        assert Timestamp("k", 3).next() == Timestamp("k", 4)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Timestamp("k", 1).value = 2  # type: ignore[misc]
+
+
+class TestProperties:
+    @given(values=st.lists(st.integers(min_value=0, max_value=10**9), min_size=2, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_order_is_total_per_key(self, values):
+        stamps = [Timestamp("k", value) for value in values]
+        ordered = sorted(stamps)
+        assert [ts.value for ts in ordered] == sorted(values)
+
+    @given(value=st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=50, deadline=None)
+    def test_next_is_strictly_greater(self, value):
+        ts = Timestamp("k", value)
+        assert ts.next() > ts

@@ -1,0 +1,148 @@
+"""Unit tests for the pairwise-independent hash family."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.hashing import (
+    DIGEST_BITS,
+    HashFamily,
+    PairwiseIndependentHash,
+    collision_probability,
+    key_digest,
+)
+
+
+class TestKeyDigest:
+    def test_digest_is_deterministic(self):
+        assert key_digest("hello") == key_digest("hello")
+
+    def test_digest_fits_in_declared_bits(self):
+        assert 0 <= key_digest("anything") < (1 << DIGEST_BITS)
+
+    def test_distinct_keys_have_distinct_digests(self):
+        assert key_digest("key-a") != key_digest("key-b")
+
+    def test_int_and_str_keys_digest_differently(self):
+        assert key_digest(1) != key_digest("1")
+
+    def test_bool_and_int_keys_digest_differently(self):
+        assert key_digest(True) != key_digest(1)
+
+    def test_bytes_keys_supported(self):
+        assert key_digest(b"payload") == key_digest(b"payload")
+        assert key_digest(b"payload") != key_digest("payload")
+
+    def test_tuple_keys_supported(self):
+        assert key_digest(("a", 1)) == key_digest(("a", 1))
+        assert key_digest(("a", 1)) != key_digest(("a", 2))
+
+
+class TestPairwiseIndependentHash:
+    def test_output_within_space(self):
+        fn = PairwiseIndependentHash(name="h", a=12345, b=678, bits=16)
+        for key in ("a", "b", "c", 42, b"bytes"):
+            assert 0 <= fn(key) < (1 << 16)
+
+    def test_same_key_same_point(self):
+        fn = PairwiseIndependentHash(name="h", a=3, b=7, bits=32)
+        assert fn("stable") == fn("stable")
+
+    def test_point_alias(self):
+        fn = PairwiseIndependentHash(name="h", a=3, b=7, bits=32)
+        assert fn.point("k") == fn("k")
+
+    def test_space_size(self):
+        fn = PairwiseIndependentHash(name="h", a=3, b=7, bits=10)
+        assert fn.space_size == 1024
+
+    def test_zero_a_rejected(self):
+        with pytest.raises(ValueError):
+            PairwiseIndependentHash(name="h", a=0, b=7, bits=10)
+
+    def test_bits_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            PairwiseIndependentHash(name="h", a=3, b=7, bits=0)
+        with pytest.raises(ValueError):
+            PairwiseIndependentHash(name="h", a=3, b=7, bits=1000)
+
+    def test_functions_are_hashable_and_frozen(self):
+        fn = PairwiseIndependentHash(name="h", a=3, b=7, bits=10)
+        assert fn in {fn}
+        with pytest.raises(AttributeError):
+            fn.a = 4  # type: ignore[misc]
+
+
+class TestHashFamily:
+    def test_sampled_functions_differ(self):
+        family = HashFamily(bits=32, seed=1)
+        first, second = family.sample(), family.sample()
+        assert (first.a, first.b) != (second.a, second.b)
+        assert first("key") != second("key") or first("other") != second("other")
+
+    def test_same_seed_same_family(self):
+        first = HashFamily(bits=32, seed=5).sample("h")
+        second = HashFamily(bits=32, seed=5).sample("h")
+        assert (first.a, first.b) == (second.a, second.b)
+
+    def test_default_names_are_sequential(self):
+        family = HashFamily(bits=32, seed=0)
+        assert [family.sample().name for _ in range(3)] == ["h-0", "h-1", "h-2"]
+
+    def test_sample_many_names_use_prefix(self):
+        family = HashFamily(bits=32, seed=0)
+        names = [fn.name for fn in family.sample_many(4, prefix="hr")]
+        assert names == ["hr-0", "hr-1", "hr-2", "hr-3"]
+
+    def test_sample_many_rejects_non_positive_count(self):
+        with pytest.raises(ValueError):
+            HashFamily(bits=32, seed=0).sample_many(0)
+
+    def test_family_records_samples(self):
+        family = HashFamily(bits=32, seed=0)
+        family.sample_many(3)
+        assert len(family) == 3
+        assert len(list(family)) == 3
+
+    def test_seed_and_rng_are_mutually_exclusive(self):
+        import random
+        with pytest.raises(ValueError):
+            HashFamily(bits=32, seed=1, rng=random.Random(2))
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            HashFamily(bits=0)
+
+    def test_functions_spread_keys_over_space(self):
+        family = HashFamily(bits=32, seed=3)
+        fn = family.sample()
+        points = {fn(f"key-{index}") for index in range(200)}
+        # With a 32-bit space, 200 keys should essentially never collide.
+        assert len(points) == 200
+
+    def test_collision_probability_is_tiny_for_wide_space(self):
+        family = HashFamily(bits=32, seed=4)
+        functions = family.sample_many(3)
+        keys = [f"key-{index}" for index in range(50)]
+        assert collision_probability(functions, keys) == 0.0
+
+    def test_collision_probability_degenerate_inputs(self):
+        family = HashFamily(bits=8, seed=4)
+        assert collision_probability([], ["a", "b"]) == 0.0
+        assert collision_probability(family.sample_many(2), ["only"]) == 0.0
+
+
+class TestHashingProperties:
+    @given(key=st.one_of(st.text(), st.integers(), st.binary()))
+    @settings(max_examples=60, deadline=None)
+    def test_outputs_always_in_range(self, key):
+        fn = PairwiseIndependentHash(name="h", a=987654321, b=123456789, bits=24)
+        assert 0 <= fn(key) < (1 << 24)
+
+    @given(key=st.text(min_size=1), bits=st.integers(min_value=4, max_value=64))
+    @settings(max_examples=40, deadline=None)
+    def test_determinism_across_bit_widths(self, key, bits):
+        fn = PairwiseIndependentHash(name="h", a=31, b=17, bits=bits)
+        assert fn(key) == fn(key)

@@ -1,0 +1,101 @@
+"""Unit tests for message traces and message-size accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dht.messages import Message, MessageKind, MessageSizes, OperationTrace
+
+
+class TestMessageSizes:
+    def test_control_messages_are_small(self):
+        sizes = MessageSizes()
+        assert sizes.size_of(MessageKind.LOOKUP_HOP) == sizes.control_bytes
+        assert sizes.size_of(MessageKind.TSR) == sizes.control_bytes
+
+    def test_data_bearing_messages_are_large(self):
+        sizes = MessageSizes()
+        assert sizes.size_of(MessageKind.GET_REPLY) == sizes.data_bytes
+        assert sizes.size_of(MessageKind.PUT_REQUEST) == sizes.data_bytes
+        assert sizes.size_of(MessageKind.DATA_TRANSFER) == sizes.data_bytes
+
+    def test_custom_sizes_respected(self):
+        sizes = MessageSizes(control_bytes=10, data_bytes=5000)
+        assert sizes.size_of(MessageKind.GET_REQUEST) == 10
+        assert sizes.size_of(MessageKind.GET_REPLY) == 5000
+
+
+class TestOperationTrace:
+    def test_empty_trace(self):
+        trace = OperationTrace()
+        assert trace.message_count == 0
+        assert trace.total_bytes == 0
+        assert trace.timeout_count == 0
+        assert len(trace) == 0
+
+    def test_record_defaults_size_from_kind(self):
+        trace = OperationTrace()
+        message = trace.record(MessageKind.GET_REPLY)
+        assert message.size_bytes == trace.sizes.data_bytes
+        assert trace.total_bytes == trace.sizes.data_bytes
+
+    def test_record_explicit_size(self):
+        trace = OperationTrace()
+        trace.record(MessageKind.CONTROL, size_bytes=7)
+        assert trace.total_bytes == 7
+
+    def test_record_route_counts_hops(self):
+        trace = OperationTrace()
+        trace.record_route([1, 2, 3, 4])
+        assert trace.message_count == 3
+        assert all(message.kind is MessageKind.LOOKUP_HOP for message in trace)
+
+    def test_record_route_single_node_is_free(self):
+        trace = OperationTrace()
+        trace.record_route([42])
+        assert trace.message_count == 0
+
+    def test_record_route_retries_and_timeouts(self):
+        trace = OperationTrace()
+        trace.record_route([1, 2], retries=3, timeouts=2)
+        assert trace.message_count == 1 + 3
+        assert trace.timeout_count == 2
+
+    def test_record_request_reply(self):
+        trace = OperationTrace()
+        trace.record_request_reply(MessageKind.GET_REQUEST, MessageKind.GET_REPLY,
+                                   source=1, dest=9)
+        assert trace.message_count == 2
+        kinds = [message.kind for message in trace]
+        assert kinds == [MessageKind.GET_REQUEST, MessageKind.GET_REPLY]
+        assert trace.messages[1].source == 9 and trace.messages[1].dest == 1
+
+    def test_merge_appends_other_trace(self):
+        first, second = OperationTrace(), OperationTrace()
+        first.record(MessageKind.TSR)
+        second.record(MessageKind.TSR_REPLY)
+        merged = first.merge(second)
+        assert merged is first
+        assert first.message_count == 2
+
+    def test_count_by_kind(self):
+        trace = OperationTrace()
+        trace.record(MessageKind.TSR)
+        trace.record(MessageKind.TSR)
+        trace.record(MessageKind.TSR_REPLY)
+        histogram = trace.count_by_kind()
+        assert histogram[MessageKind.TSR] == 2
+        assert histogram[MessageKind.TSR_REPLY] == 1
+
+    def test_messages_property_is_a_snapshot(self):
+        trace = OperationTrace()
+        trace.record(MessageKind.TSR)
+        snapshot = trace.messages
+        trace.record(MessageKind.TSR)
+        assert len(snapshot) == 1
+        assert trace.message_count == 2
+
+    def test_messages_are_frozen(self):
+        message = Message(kind=MessageKind.TSR, size_bytes=10)
+        with pytest.raises(AttributeError):
+            message.size_bytes = 20  # type: ignore[misc]

@@ -1,0 +1,133 @@
+"""Unit tests for the per-peer replica store and its reconciliation rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.timestamps import Timestamp
+from repro.dht.storage import LocalStore, StoredValue
+
+
+def ts_entry(key="k", value=1, data="payload", hash_name="hr-0"):
+    return StoredValue(key=key, data=data, timestamp=Timestamp(key, value),
+                       hash_name=hash_name, point=123)
+
+
+def version_entry(key="k", version=1, data="payload", hash_name="hr-0"):
+    return StoredValue(key=key, data=data, version=version, hash_name=hash_name, point=123)
+
+
+class TestStoredValueReconciliation:
+    def test_anything_is_newer_than_nothing(self):
+        assert ts_entry().is_newer_than(None)
+
+    def test_newer_timestamp_wins(self):
+        assert ts_entry(value=2).is_newer_than(ts_entry(value=1))
+
+    def test_older_timestamp_loses(self):
+        assert not ts_entry(value=1).is_newer_than(ts_entry(value=2))
+
+    def test_equal_timestamp_does_not_overwrite(self):
+        assert not ts_entry(value=3).is_newer_than(ts_entry(value=3))
+
+    def test_higher_version_wins(self):
+        assert version_entry(version=4).is_newer_than(version_entry(version=3))
+
+    def test_equal_version_overwrites_last_writer_wins(self):
+        # BRICKS has no tie-break: the last writer silently wins, which is the
+        # ambiguity the paper criticises.
+        assert version_entry(version=2).is_newer_than(version_entry(version=2))
+
+    def test_lower_version_loses(self):
+        assert not version_entry(version=1).is_newer_than(version_entry(version=2))
+
+    def test_stamped_replica_beats_unstamped(self):
+        unstamped = StoredValue(key="k", data="old", hash_name="hr-0")
+        assert ts_entry().is_newer_than(unstamped)
+        assert version_entry().is_newer_than(unstamped)
+
+    def test_unstamped_does_not_beat_stamped(self):
+        unstamped = StoredValue(key="k", data="new", hash_name="hr-0")
+        assert not unstamped.is_newer_than(ts_entry())
+
+
+class TestLocalStore:
+    def test_put_and_get_roundtrip(self):
+        store = LocalStore()
+        entry = ts_entry()
+        assert store.put(entry) is True
+        assert store.get("hr-0", "k") is entry
+
+    def test_get_missing_returns_none(self):
+        assert LocalStore().get("hr-0", "missing") is None
+
+    def test_put_respects_reconciliation(self):
+        store = LocalStore()
+        store.put(ts_entry(value=5, data="newer"))
+        assert store.put(ts_entry(value=3, data="older")) is False
+        assert store.get("hr-0", "k").data == "newer"
+
+    def test_put_without_reconcile_overwrites(self):
+        store = LocalStore()
+        store.put(ts_entry(value=5, data="newer"))
+        assert store.put(ts_entry(value=3, data="older"), reconcile=False) is True
+        assert store.get("hr-0", "k").data == "older"
+
+    def test_same_key_under_different_hashes_coexists(self):
+        store = LocalStore()
+        store.put(ts_entry(hash_name="hr-0", data="a"))
+        store.put(ts_entry(hash_name="hr-1", data="b"))
+        assert len(store) == 2
+        assert store.get("hr-0", "k").data == "a"
+        assert store.get("hr-1", "k").data == "b"
+
+    def test_delete_returns_entry(self):
+        store = LocalStore()
+        entry = ts_entry()
+        store.put(entry)
+        assert store.delete("hr-0", "k") is entry
+        assert store.delete("hr-0", "k") is None
+        assert len(store) == 0
+
+    def test_contains_and_in_operator(self):
+        store = LocalStore()
+        store.put(ts_entry())
+        assert store.contains("hr-0", "k")
+        assert ("hr-0", "k") in store
+        assert not store.contains("hr-9", "k")
+
+    def test_values_and_keys_snapshot(self):
+        store = LocalStore()
+        store.put(ts_entry(hash_name="hr-0"))
+        store.put(ts_entry(hash_name="hr-1"))
+        assert len(store.values()) == 2
+        assert set(store.keys()) == {("hr-0", "k"), ("hr-1", "k")}
+
+    def test_replicas_of_filters_by_key(self):
+        store = LocalStore()
+        store.put(ts_entry(key="k1", hash_name="hr-0"))
+        store.put(ts_entry(key="k2", hash_name="hr-1"))
+        assert [entry.key for entry in store.replicas_of("k1")] == ["k1"]
+
+    def test_clear_empties_store(self):
+        store = LocalStore()
+        store.put(ts_entry())
+        store.clear()
+        assert len(store) == 0
+
+    def test_iteration_yields_entries(self):
+        store = LocalStore()
+        store.put(ts_entry(hash_name="hr-0"))
+        store.put(ts_entry(hash_name="hr-1"))
+        assert sorted(entry.hash_name for entry in store) == ["hr-0", "hr-1"]
+
+    def test_touch_updates_stored_at(self):
+        store = LocalStore()
+        store.put(ts_entry())
+        store.touch("hr-0", "k", stored_at=99.0)
+        assert store.get("hr-0", "k").stored_at == 99.0
+
+    def test_touch_missing_entry_is_noop(self):
+        store = LocalStore()
+        store.touch("hr-0", "k", stored_at=99.0)
+        assert store.get("hr-0", "k") is None

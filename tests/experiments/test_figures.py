@@ -1,0 +1,120 @@
+"""Tests of the per-figure experiment generators (tiny scale).
+
+These tests run every figure end-to-end at the "tiny" scale and assert the
+*qualitative* claims of the paper (who wins, how curves trend) rather than
+absolute values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.runner import run_all_experiments, write_experiments_report
+
+
+SEED = 424242
+
+
+class TestStaticTables:
+    def test_table1_lists_the_paper_parameters(self):
+        table = figures.table1_parameters("paper")
+        rows = dict(zip(table.x_values(), table.series_values("value")))
+        assert rows["number of peers"] == 10000
+        assert rows["|Hr| (replicas per data)"] == 10
+        assert rows["latency (ms, mean)"] == pytest.approx(200.0)
+        assert rows["bandwidth (kbps, mean)"] == pytest.approx(56.0)
+        assert rows["failure rate (% of departures)"] == pytest.approx(5.0)
+
+    def test_theorem1_table_reproduces_the_headline_example(self):
+        table = figures.expected_retrievals_table()
+        row = {x: dict(zip(["E[X] (Eq. 1)", "E[probes]", "1/pt bound", "min(1/pt, |Hr|)"],
+                           [table.rows[index][name] for name in table.series]))
+               for index, x in enumerate(table.x_values())}
+        assert row[0.35]["E[X] (Eq. 1)"] < 3.0
+        assert row[0.35]["1/pt bound"] < 3.0
+        assert row[1.0]["E[X] (Eq. 1)"] == pytest.approx(1.0)
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            figures.figure7_simulated_scaleup("gigantic")
+
+
+class TestFigureShapes:
+    @pytest.fixture(scope="class")
+    def scaleup(self):
+        return figures.scaleup_results("tiny", seed=SEED)
+
+    @pytest.fixture(scope="class")
+    def replica_sweep(self):
+        return figures.replica_sweep_results("tiny", seed=SEED)
+
+    def test_figure6_ums_direct_beats_brk_on_the_cluster(self):
+        table = figures.figure6_cluster_scaleup("tiny", seed=SEED)
+        for brk, direct in zip(table.series_values("BRK"), table.series_values("UMS-Direct")):
+            assert direct < brk
+
+    def test_figure7_ordering_matches_the_paper(self, scaleup):
+        table = figures.figure7_simulated_scaleup("tiny", seed=SEED, precomputed=scaleup)
+        for row in table.rows:
+            assert row["UMS-Direct"] <= row["UMS-Indirect"]
+            assert row["UMS-Direct"] < row["BRK"]
+
+    def test_figure8_brk_sends_many_more_messages(self, scaleup):
+        table = figures.figure8_messages_vs_peers("tiny", seed=SEED, precomputed=scaleup)
+        for row in table.rows:
+            assert row["BRK"] > 2 * row["UMS-Direct"]
+
+    def test_figure9_replicas_strongly_affect_brk_not_ums_direct(self, replica_sweep):
+        table = figures.figure9_replicas_response_time("tiny", seed=SEED,
+                                                       precomputed=replica_sweep)
+        brk = table.series_values("BRK")
+        direct = table.series_values("UMS-Direct")
+        # BRK's response time grows roughly linearly with the replica count;
+        # UMS-Direct stays in the same ballpark.
+        assert brk[-1] > brk[0] * 1.5
+        assert direct[-1] < direct[0] * 2.0
+
+    def test_figure10_brk_messages_scale_with_replicas(self, replica_sweep):
+        table = figures.figure10_replicas_messages("tiny", seed=SEED,
+                                                   precomputed=replica_sweep)
+        brk = table.series_values("BRK")
+        replicas = table.x_values()
+        assert brk[-1] / brk[0] == pytest.approx(replicas[-1] / replicas[0], rel=0.5)
+
+    def test_figure11_failures_hurt_response_time(self):
+        table = figures.figure11_failure_rate("tiny", seed=SEED)
+        direct = table.series_values("UMS-Direct")
+        assert direct[-1] > direct[0]
+
+    def test_figure12_only_reports_the_two_ums_variants(self):
+        table = figures.figure12_update_frequency("tiny", seed=SEED)
+        assert set(table.series) == {"UMS-Direct", "UMS-Indirect"}
+        assert len(table.rows) == len(figures.SCALE_PROFILES["tiny"]["update_rates_per_hour"])
+
+
+class TestAblationsAndRunner:
+    def test_ablation_probe_order_has_both_rows(self):
+        table = figures.ablation_probe_order("tiny", seed=SEED)
+        assert table.x_values() == ["random", "fixed"]
+
+    def test_ablation_overlay_compares_chord_and_can(self):
+        table = figures.ablation_overlay("tiny", seed=SEED)
+        assert table.x_values() == ["chord", "can"]
+        assert all(value > 0 for value in table.series_values("messages"))
+
+    def test_ablation_stabilization_rows_match_intervals(self):
+        table = figures.ablation_stabilization("tiny", seed=SEED, intervals=(0.0, 300.0))
+        assert table.x_values() == [0.0, 300.0]
+
+    def test_runner_produces_all_tables_and_report(self, tmp_path):
+        tables = run_all_experiments("tiny", seed=SEED, include_ablations=False)
+        identifiers = [table.experiment_id for table in tables]
+        for expected in ("table-1", "theorem-1", "figure-6", "figure-7", "figure-8",
+                         "figure-9", "figure-10", "figure-11", "figure-12"):
+            assert expected in identifiers
+        report = tmp_path / "report.md"
+        with open(report, "w", encoding="utf-8") as handle:
+            write_experiments_report(tables, handle, scale="tiny", elapsed_s=1.0)
+        content = report.read_text()
+        assert "figure-7" in content and "Scale profile" in content

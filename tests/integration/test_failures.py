@@ -1,0 +1,111 @@
+"""Failure-injection integration tests (Section 4.2.2 scenarios)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import CounterInitialization, build_service_stack
+
+
+class TestTimestampingResponsibleFailures:
+    def test_failing_the_timestamping_responsible_does_not_block_updates(self, small_stack):
+        small_stack.ums.insert("k", "v0")
+        responsible = small_stack.kts.responsible_of_timestamping("k")
+        small_stack.network.fail_peer(responsible)
+        small_stack.network.join_peer()
+        result = small_stack.ums.insert("k", "v1")
+        assert result.fully_replicated
+        retrieved = small_stack.ums.retrieve("k")
+        assert retrieved.data == "v1"
+        assert retrieved.is_current
+
+    def test_repeated_failures_of_the_responsible_keep_timestamps_monotonic(self, small_stack):
+        values = []
+        for sequence in range(8):
+            values.append(small_stack.ums.insert("k", sequence).timestamp.value)
+            small_stack.network.fail_peer(small_stack.kts.responsible_of_timestamping("k"))
+            small_stack.network.join_peer()
+        assert values == sorted(values)
+        assert len(set(values)) == len(values)
+
+    def test_uncommitted_timestamp_is_repaired_by_recovery(self, small_stack):
+        network, kts, ums = small_stack.network, small_stack.kts, small_stack.ums
+        ums.insert("k", "committed")
+        # A timestamp is generated but never committed (e.g. the requesting
+        # peer crashed before issuing the puts), then the responsible fails.
+        orphan = kts.gen_ts("k")
+        network.fail_peer(kts.responsible_of_timestamping("k"))
+        # The new responsible rebuilds the counter from the replicas, which do
+        # not know about the orphan timestamp...
+        assert kts.last_ts("k").value < orphan.value
+        # ...until the restarted peer reports its counter (recovery strategy).
+        assert kts.recover("k", orphan.value)
+        next_ts = ums.insert("k", "after-recovery").timestamp
+        assert next_ts.value > orphan.value
+
+    def test_periodic_inspection_fixes_counters_after_partial_loss(self, small_stack):
+        network, kts, ums = small_stack.network, small_stack.kts, small_stack.ums
+        ums.insert("k", "v0")
+        ums.insert("k", "v1")
+        responsible = kts.responsible_of_timestamping("k")
+        counter = kts.peer_state(responsible).vcs.get("k")
+        counter.value = 0
+        counter.last_known = None
+        assert kts.inspect_counters(responsible) == 1
+        assert kts.last_ts("k").value == 2
+
+
+class TestMassFailures:
+    def test_data_survives_as_long_as_one_replica_does(self):
+        stack = build_service_stack(num_peers=60, num_replicas=10, seed=37)
+        stack.ums.insert("k", "precious")
+        holders = sorted({stack.network.responsible_peer("k", h) for h in stack.replication})
+        # Fail all but one replica holder.
+        for holder in holders[:-1]:
+            if stack.network.is_alive(holder):
+                stack.network.fail_peer(holder)
+                stack.network.join_peer()
+        result = stack.ums.retrieve("k")
+        assert result.found
+        assert result.data == "precious"
+
+    def test_total_replica_loss_is_reported_as_not_found(self):
+        stack = build_service_stack(num_peers=60, num_replicas=4, seed=41)
+        stack.ums.insert("k", "doomed")
+        for hash_fn in stack.replication:
+            holder = stack.network.responsible_peer("k", hash_fn)
+            if stack.network.is_alive(holder):
+                stack.network.fail_peer(holder)
+        result = stack.ums.retrieve("k")
+        assert not result.found
+        assert result.data is None
+
+    def test_update_after_total_loss_restores_availability(self):
+        stack = build_service_stack(num_peers=60, num_replicas=4, seed=43)
+        stack.ums.insert("k", "lost")
+        for hash_fn in stack.replication:
+            holder = stack.network.responsible_peer("k", hash_fn)
+            if stack.network.is_alive(holder):
+                stack.network.fail_peer(holder)
+        stack.ums.insert("k", "restored")
+        result = stack.ums.retrieve("k")
+        assert result.found
+        assert result.data == "restored"
+        assert stack.ums.currency_probability("k") == pytest.approx(1.0)
+
+    def test_heavy_failure_churn_with_indirect_initialisation(self):
+        stack = build_service_stack(num_peers=80, num_replicas=10, seed=47,
+                                    initialization=CounterInitialization.INDIRECT)
+        rng = random.Random(47)
+        for sequence in range(10):
+            stack.ums.insert("k", sequence)
+            for _ in range(4):
+                stack.network.fail_peer(stack.network.random_alive_peer())
+                stack.network.join_peer()
+        result = stack.ums.retrieve("k")
+        assert result.found
+        # The last write always reaches all current responsibles, so even under
+        # heavy failures the returned value is the latest one.
+        assert result.data == 9

@@ -1,0 +1,92 @@
+"""Unit tests for the network cost model (Table 1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dht.messages import MessageKind, OperationTrace
+from repro.sim.cost import NetworkCostModel
+
+
+def trace_with(count, kind=MessageKind.LOOKUP_HOP, timeouts=0):
+    trace = OperationTrace()
+    for index in range(count):
+        trace.record(kind, timed_out=index < timeouts)
+    return trace
+
+
+class TestDefaults:
+    def test_wide_area_defaults_match_table1(self):
+        model = NetworkCostModel.wide_area(seed=1)
+        assert model.latency_mean_s == pytest.approx(0.2)
+        assert model.bandwidth_mean_bps == pytest.approx(56_000.0)
+
+    def test_cluster_preset_is_much_faster(self):
+        wan = NetworkCostModel.wide_area(seed=1)
+        lan = NetworkCostModel.cluster(seed=1)
+        assert lan.latency_mean_s < wan.latency_mean_s
+        assert lan.bandwidth_mean_bps > wan.bandwidth_mean_bps
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkCostModel(latency_mean_s=-1.0)
+        with pytest.raises(ValueError):
+            NetworkCostModel(bandwidth_mean_bps=0.0)
+
+
+class TestDurations:
+    def test_empty_trace_costs_nothing(self):
+        assert NetworkCostModel.wide_area(seed=1).duration(OperationTrace()) == 0.0
+
+    def test_duration_grows_with_message_count(self):
+        model = NetworkCostModel.wide_area(seed=2)
+        assert model.duration(trace_with(20)) > model.duration(trace_with(2))
+
+    def test_duration_close_to_expectation(self):
+        model = NetworkCostModel.wide_area(seed=3)
+        trace = trace_with(100)
+        expected = 100 * model.expected_message_delay(trace.messages[0].size_bytes)
+        assert model.duration(trace) == pytest.approx(expected, rel=0.1)
+
+    def test_timeouts_add_penalty(self):
+        model = NetworkCostModel(latency_std_s=0.0, bandwidth_std_bps=0.0,
+                                 timeout_s=5.0, rng=random.Random(1))
+        without = model.duration(trace_with(4))
+        with_timeouts = model.duration(trace_with(4, timeouts=2))
+        assert with_timeouts == pytest.approx(without + 10.0)
+
+    def test_data_messages_cost_more_than_control(self):
+        model = NetworkCostModel(latency_std_s=0.0, bandwidth_std_bps=0.0,
+                                 rng=random.Random(1))
+        control = model.duration(trace_with(1, kind=MessageKind.GET_REQUEST))
+        data = model.duration(trace_with(1, kind=MessageKind.GET_REPLY))
+        assert data > control
+
+    def test_same_seed_same_duration(self):
+        trace = trace_with(10)
+        first = NetworkCostModel.wide_area(seed=9).duration(trace)
+        second = NetworkCostModel.wide_area(seed=9).duration(trace)
+        assert first == second
+
+
+class TestSampling:
+    def test_latency_samples_are_positive(self):
+        model = NetworkCostModel(latency_mean_s=0.001, latency_std_s=0.1,
+                                 rng=random.Random(4))
+        assert all(model.sample_latency() > 0 for _ in range(200))
+
+    def test_bandwidth_samples_are_floored(self):
+        model = NetworkCostModel(bandwidth_mean_bps=2_000.0, bandwidth_std_bps=50_000.0,
+                                 rng=random.Random(5))
+        assert all(model.sample_bandwidth() >= 1_000.0 for _ in range(200))
+
+    def test_zero_std_bandwidth_is_deterministic(self):
+        model = NetworkCostModel(bandwidth_std_bps=0.0, rng=random.Random(6))
+        assert model.sample_bandwidth() == model.bandwidth_mean_bps
+
+    def test_expected_message_delay_formula(self):
+        model = NetworkCostModel(latency_mean_s=0.2, bandwidth_mean_bps=56_000.0,
+                                 rng=random.Random(7))
+        assert model.expected_message_delay(700) == pytest.approx(0.2 + 5600 / 56_000.0)

@@ -1,0 +1,66 @@
+"""Unit tests for run results and aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.results import QueryObservation, RunResult
+
+
+def observation(time=0.0, response_time=1.0, messages=10, inspected=2, found=True,
+                is_current=True):
+    return QueryObservation(time=time, key="k", response_time_s=response_time,
+                            messages=messages, replicas_inspected=inspected,
+                            found=found, is_current=is_current)
+
+
+class TestRunResult:
+    def test_empty_result_aggregates_to_zero(self):
+        result = RunResult(algorithm="ums-direct", num_peers=10, num_replicas=5)
+        assert result.query_count == 0
+        assert result.avg_response_time_s == 0.0
+        assert result.avg_messages == 0.0
+        assert result.currency_rate == 0.0
+        assert result.found_rate == 0.0
+
+    def test_averages(self):
+        result = RunResult(algorithm="brk", num_peers=10, num_replicas=5)
+        result.record_query(observation(response_time=2.0, messages=10))
+        result.record_query(observation(response_time=4.0, messages=20))
+        assert result.avg_response_time_s == pytest.approx(3.0)
+        assert result.avg_messages == pytest.approx(15.0)
+        assert result.query_count == 2
+
+    def test_currency_and_found_rates(self):
+        result = RunResult(algorithm="ums-direct", num_peers=10, num_replicas=5)
+        result.record_query(observation(is_current=True, found=True))
+        result.record_query(observation(is_current=False, found=True))
+        result.record_query(observation(is_current=False, found=False))
+        assert result.currency_rate == pytest.approx(1 / 3)
+        assert result.found_rate == pytest.approx(2 / 3)
+
+    def test_replicas_inspected_average(self):
+        result = RunResult(algorithm="ums-direct", num_peers=10, num_replicas=5)
+        result.record_query(observation(inspected=1))
+        result.record_query(observation(inspected=5))
+        assert result.avg_replicas_inspected == pytest.approx(3.0)
+
+    def test_summary_contains_all_metrics(self):
+        result = RunResult(algorithm="ums-direct", num_peers=10, num_replicas=5)
+        result.record_query(observation())
+        result.updates_performed = 7
+        result.churn_events = 3
+        result.failures = 1
+        summary = result.summary()
+        assert summary["queries"] == 1.0
+        assert summary["updates"] == 7.0
+        assert summary["churn_events"] == 3.0
+        assert summary["failures"] == 1.0
+        assert set(summary) >= {"avg_response_time_s", "avg_messages", "currency_rate"}
+
+    def test_tallies_expose_distributions(self):
+        result = RunResult(algorithm="ums-direct", num_peers=10, num_replicas=5)
+        result.record_query(observation(response_time=1.0))
+        result.record_query(observation(response_time=3.0))
+        assert result.response_time.maximum == 3.0
+        assert result.messages.count == 2

@@ -1,0 +1,86 @@
+"""Unit tests for the update/query workload generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.simulation.workload import (
+    QuerySchedule,
+    UpdateWorkload,
+    default_keys,
+    payload_for,
+)
+
+
+class TestKeysAndPayloads:
+    def test_default_keys_are_named_sequentially(self):
+        assert default_keys(3) == ["item-0", "item-1", "item-2"]
+
+    def test_default_keys_custom_prefix(self):
+        assert default_keys(2, prefix="doc") == ["doc-0", "doc-1"]
+
+    def test_default_keys_requires_positive_count(self):
+        with pytest.raises(ValueError):
+            default_keys(0)
+
+    def test_payload_is_deterministic_and_versioned(self):
+        assert payload_for("item-1", 4) == payload_for("item-1", 4)
+        assert payload_for("item-1", 4) != payload_for("item-1", 5)
+        assert payload_for("item-1", 4)["sequence"] == 4
+
+
+class TestUpdateWorkload:
+    def test_schedule_is_sorted_and_within_duration(self):
+        workload = UpdateWorkload(default_keys(5), rate_per_hour=60.0,
+                                  rng=random.Random(1))
+        events = workload.schedule(600.0)
+        times = [event.time for event in events]
+        assert times == sorted(times)
+        assert all(0.0 < time < 600.0 for time in times)
+
+    def test_event_count_scales_with_rate_and_keys(self):
+        rng = random.Random(2)
+        events = UpdateWorkload(default_keys(10), rate_per_hour=6.0, rng=rng).schedule(3600.0)
+        # 10 keys * 6 updates/hour * 1 hour = 60 expected events.
+        assert 35 <= len(events) <= 90
+
+    def test_zero_rate_produces_no_events(self):
+        workload = UpdateWorkload(default_keys(3), rate_per_hour=0.0, rng=random.Random(3))
+        assert workload.schedule(1000.0) == []
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            UpdateWorkload(default_keys(3), rate_per_hour=-1.0, rng=random.Random(3))
+
+    def test_every_key_can_receive_updates(self):
+        workload = UpdateWorkload(default_keys(4), rate_per_hour=3600.0,
+                                  rng=random.Random(4))
+        events = workload.schedule(100.0)
+        assert {event.key for event in events} == set(default_keys(4))
+
+
+class TestQuerySchedule:
+    def test_schedule_has_requested_number_of_queries(self):
+        schedule = QuerySchedule(default_keys(5), num_queries=30, rng=random.Random(5))
+        events = schedule.schedule(1800.0)
+        assert len(events) == 30
+
+    def test_queries_are_sorted_and_uniform_over_the_run(self):
+        schedule = QuerySchedule(default_keys(5), num_queries=200, rng=random.Random(6))
+        events = schedule.schedule(1000.0)
+        times = [event.time for event in events]
+        assert times == sorted(times)
+        assert min(times) < 200.0 and max(times) > 800.0
+
+    def test_queries_target_known_keys(self):
+        keys = default_keys(3)
+        schedule = QuerySchedule(keys, num_queries=50, rng=random.Random(7))
+        assert {event.key for event in schedule.schedule(100.0)} <= set(keys)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            QuerySchedule(default_keys(3), num_queries=0, rng=random.Random(8))
+        with pytest.raises(ValueError):
+            QuerySchedule([], num_queries=5, rng=random.Random(8))

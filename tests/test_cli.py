@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import cli
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        arguments = cli.build_parser().parse_args(["simulate"])
+        assert arguments.command == "simulate"
+        assert arguments.algorithm == "ums-direct"
+        assert arguments.peers == 1000
+        assert arguments.failure_rate == 5.0
+
+    def test_simulate_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["simulate", "--algorithm", "paxos"])
+
+    def test_experiments_defaults(self):
+        arguments = cli.build_parser().parse_args(["experiments"])
+        assert arguments.scale == "quick"
+        assert arguments.output is None
+
+
+class TestSimulateCommand:
+    def _args(self, *extra):
+        base = ["simulate", "--peers", "80", "--keys", "5", "--duration", "300",
+                "--queries", "6", "--seed", "11"]
+        return cli.build_parser().parse_args(base + list(extra))
+
+    def test_text_output_contains_the_metrics(self):
+        stream = io.StringIO()
+        exit_code = cli.simulate_command(self._args(), stream=stream)
+        output = stream.getvalue()
+        assert exit_code == 0
+        assert "avg response time" in output
+        assert "UMS-Direct" in output
+        assert "queries measured     : 6" in output
+
+    def test_json_output_is_parseable(self):
+        stream = io.StringIO()
+        cli.simulate_command(self._args("--json", "--algorithm", "brk"), stream=stream)
+        payload = json.loads(stream.getvalue())
+        assert payload["algorithm"] == "brk"
+        assert payload["num_peers"] == 80
+        assert payload["queries"] == 6.0
+        assert payload["avg_response_time_s"] > 0.0
+
+    def test_cluster_flag_switches_cost_model(self):
+        stream_wan = io.StringIO()
+        stream_lan = io.StringIO()
+        cli.simulate_command(self._args("--json"), stream=stream_wan)
+        cli.simulate_command(self._args("--json", "--cluster"), stream=stream_lan)
+        wan = json.loads(stream_wan.getvalue())
+        lan = json.loads(stream_lan.getvalue())
+        assert lan["avg_response_time_s"] < wan["avg_response_time_s"]
+
+    def test_explicit_churn_rate_is_used(self):
+        stream = io.StringIO()
+        cli.simulate_command(self._args("--json", "--churn-rate", "0.0"), stream=stream)
+        payload = json.loads(stream.getvalue())
+        assert payload["churn_events"] == 0.0
+
+    def test_main_dispatches_to_simulate(self, capsys):
+        exit_code = cli.main(["simulate", "--peers", "60", "--keys", "4",
+                              "--duration", "200", "--queries", "4", "--seed", "3"])
+        assert exit_code == 0
+        assert "avg response time" in capsys.readouterr().out
+
+
+class TestExperimentsCommand:
+    def test_main_dispatches_to_experiments_runner(self, tmp_path, capsys):
+        output = tmp_path / "report.md"
+        exit_code = cli.main(["experiments", "--scale", "tiny", "--no-ablations",
+                              "--output", str(output), "--seed", "5"])
+        assert exit_code == 0
+        content = output.read_text()
+        assert "figure-7" in content
+        assert "table-1" in content
