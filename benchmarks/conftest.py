@@ -44,6 +44,25 @@ def bench_seed() -> int:
 
 
 @pytest.fixture(scope="session")
+def bench_overlays() -> tuple:
+    """The overlays the scale-up benchmarks sweep (Figures 7 and 8).
+
+    Defaults to a Chord series plus a Kademlia series; set
+    ``REPRO_BENCH_OVERLAYS=chord,can,kademlia`` (any comma-separated subset of
+    the registered overlays) to change the sweep.
+    """
+    from repro.dht.registry import overlay_names
+
+    raw = os.environ.get("REPRO_BENCH_OVERLAYS", "chord,kademlia")
+    overlays = tuple(name.strip().lower() for name in raw.split(",") if name.strip())
+    unknown = [name for name in overlays if name not in overlay_names()]
+    if not overlays or unknown:
+        raise ValueError(f"REPRO_BENCH_OVERLAYS must name registered overlays "
+                         f"{overlay_names()}, got {raw!r}")
+    return overlays
+
+
+@pytest.fixture(scope="session")
 def sweep_cache() -> dict:
     """Session-wide cache of shared sweeps (Figures 7/8 and 9/10)."""
     return _SWEEP_CACHE
@@ -64,8 +83,12 @@ def record_table(results_dir):
         path.write_text(table.to_markdown() + "\n", encoding="utf-8")
         text = table.to_text()
         if benchmark is not None:
-            benchmark.extra_info["experiment"] = table.experiment_id
-            benchmark.extra_info["table"] = text
+            # First table keeps the historical keys; every table (e.g. one
+            # per overlay series) additionally lands under its own id so all
+            # series survive into pytest-benchmark's JSON output.
+            benchmark.extra_info.setdefault("experiment", table.experiment_id)
+            benchmark.extra_info.setdefault("table", text)
+            benchmark.extra_info[f"table:{table.experiment_id}"] = text
         print()
         print(text)
         return text

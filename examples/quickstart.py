@@ -14,6 +14,10 @@ replication hash functions, and shows the three behaviours the paper is about:
 Run with::
 
     python examples/quickstart.py
+
+The stack runs unchanged over any overlay registered in
+``repro.dht.registry`` (pass ``protocol="can"`` / ``"kademlia"`` to
+``build_service_stack``); see ``examples/overlay_selection.py``.
 """
 
 from __future__ import annotations

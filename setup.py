@@ -11,7 +11,7 @@ setup(
     version="1.0.0",
     description=(
         "Reproduction of 'Data Currency in Replicated DHTs' (SIGMOD 2007): "
-        "UMS + KTS over simulated Chord/CAN DHTs"
+        "UMS + KTS over simulated Chord/CAN/Kademlia DHTs"
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),

@@ -2,7 +2,7 @@
 
 The package provides:
 
-* a simulated DHT substrate (Chord and CAN overlays, replica storage, churn,
+* a simulated DHT substrate (Chord, CAN and Kademlia overlays, replica storage, churn,
   message accounting) in :mod:`repro.dht`;
 * a discrete-event simulation engine and network cost models in :mod:`repro.sim`;
 * the paper's contribution — the Update Management Service (UMS) and the

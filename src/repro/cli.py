@@ -23,6 +23,7 @@ import json
 import sys
 from typing import List, Optional
 
+from repro.dht.registry import overlay_names
 from repro.experiments import runner as experiments_runner
 from repro.simulation.config import Algorithm, SimulationParameters
 from repro.simulation.harness import run_simulation
@@ -55,7 +56,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="percentage of departures that are failures")
     simulate.add_argument("--update-rate", type=float, default=1.0,
                           help="updates per data item per hour")
-    simulate.add_argument("--protocol", choices=("chord", "can"), default="chord")
+    simulate.add_argument("--protocol", choices=overlay_names(), default="chord",
+                          help="DHT overlay (any overlay registered in "
+                               "repro.dht.registry)")
     simulate.add_argument("--cluster", action="store_true",
                           help="use the 64-node-cluster cost model instead of Table 1's WAN")
     simulate.add_argument("--seed", type=int, default=2007)
@@ -65,6 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", help="regenerate the paper's tables and figures")
     experiments.add_argument("--scale", choices=("tiny", "quick", "paper"), default="quick")
     experiments.add_argument("--seed", type=int, default=2007)
+    experiments.add_argument("--protocol", choices=overlay_names(), default="chord",
+                             help="DHT overlay for figures 6-12 and the "
+                                  "probe-order ablation")
     experiments.add_argument("--output", default=None)
     experiments.add_argument("--no-ablations", action="store_true")
     return parser
@@ -93,12 +99,14 @@ def simulate_command(arguments: argparse.Namespace, *, stream=None) -> int:
     result = run_simulation(parameters)
     summary = result.summary()
     if arguments.json:
-        payload = {"algorithm": result.algorithm, "num_peers": result.num_peers,
+        payload = {"algorithm": result.algorithm, "protocol": parameters.protocol,
+                   "num_peers": result.num_peers,
                    "num_replicas": result.num_replicas, **summary}
         stream.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         return 0
     label = Algorithm.label(result.algorithm)
     stream.write(f"algorithm            : {label}\n")
+    stream.write(f"overlay              : {parameters.protocol}\n")
     stream.write(f"peers / replicas     : {result.num_peers} / {result.num_replicas}\n")
     stream.write(f"queries measured     : {result.query_count}\n")
     stream.write(f"avg response time    : {result.avg_response_time_s:.2f} s\n")
@@ -117,7 +125,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if arguments.command == "simulate":
         return simulate_command(arguments)
     if arguments.command == "experiments":
-        runner_args = ["--scale", arguments.scale, "--seed", str(arguments.seed)]
+        runner_args = ["--scale", arguments.scale, "--seed", str(arguments.seed),
+                       "--protocol", arguments.protocol]
         if arguments.output:
             runner_args += ["--output", arguments.output]
         if arguments.no_ablations:

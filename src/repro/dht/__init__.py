@@ -1,13 +1,17 @@
-"""DHT substrate: hashing, overlay protocols (Chord, CAN), storage and the
-in-process replicated DHT network used by the UMS/KTS services.
+"""DHT substrate: hashing, overlay protocols (Chord, CAN, Kademlia), storage
+and the in-process replicated DHT network used by the UMS/KTS services.
 
 The public surface of this sub-package:
 
 * :class:`repro.dht.hashing.HashFamily` and
   :class:`repro.dht.hashing.PairwiseIndependentHash` — Carter–Wegman hash
   functions used both for data placement (``Hr``) and timestamping (``h_ts``).
-* :class:`repro.dht.chord.ChordRing` and :class:`repro.dht.can.CanSpace` —
-  overlay protocols implementing :class:`repro.dht.model.DHTProtocol`.
+* :class:`repro.dht.chord.ChordRing`, :class:`repro.dht.can.CanSpace` and
+  :class:`repro.dht.kademlia.KademliaOverlay` — overlay protocols
+  implementing :class:`repro.dht.model.DHTProtocol`.
+* :mod:`repro.dht.registry` — the pluggable overlay registry that resolves
+  ``protocol`` names (``"chord"``, ``"can"``, ``"kademlia"``, plus any
+  overlay registered at runtime) to factories.
 * :class:`repro.dht.network.DHTNetwork` — a network of peers running one of
   the overlays, exposing the paper's ``put_h`` / ``get_h`` / lookup operations
   with message accounting and churn (join / leave / fail) with data handover.
@@ -31,6 +35,14 @@ from repro.dht.model import (
 from repro.dht.storage import LocalStore, StoredValue
 from repro.dht.chord import ChordRing
 from repro.dht.can import CanSpace
+from repro.dht.kademlia import KademliaOverlay
+from repro.dht.registry import (
+    create_overlay,
+    is_registered,
+    overlay_names,
+    register_overlay,
+    unregister_overlay,
+)
 from repro.dht.network import DHTNetwork, NetworkObserver, PeerState
 
 __all__ = [
@@ -41,6 +53,7 @@ __all__ = [
     "DHTProtocol",
     "EmptyNetworkError",
     "HashFamily",
+    "KademliaOverlay",
     "LocalStore",
     "LookupResult",
     "Message",
@@ -56,5 +69,10 @@ __all__ = [
     "ResponsibilityPeriod",
     "RouteResult",
     "StoredValue",
+    "create_overlay",
+    "is_registered",
     "key_digest",
+    "overlay_names",
+    "register_overlay",
+    "unregister_overlay",
 ]

@@ -1,8 +1,9 @@
 """In-process replicated DHT network.
 
 :class:`DHTNetwork` hosts a population of peers on top of an overlay protocol
-(:class:`~repro.dht.chord.ChordRing` or :class:`~repro.dht.can.CanSpace`) and
-exposes the two operations the paper assumes of the DHT (Section 2.2):
+(any overlay registered in :mod:`repro.dht.registry`: Chord, CAN, Kademlia or
+a runtime-registered backend) and exposes the two operations the paper
+assumes of the DHT (Section 2.2):
 
 * ``put_h(k, data)`` — store a pair at ``rsp(k, h)``;
 * ``get_h(k)``       — retrieve the pair stored at ``rsp(k, h)``;
@@ -25,8 +26,7 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Union
 
-from repro.dht.can import CanSpace
-from repro.dht.chord import ChordRing
+from repro.dht import registry
 from repro.dht.errors import EmptyNetworkError, NoSuchPeerError
 from repro.dht.hashing import PairwiseIndependentHash
 from repro.dht.messages import MessageKind, MessageSizes, OperationTrace
@@ -84,8 +84,9 @@ class DHTNetwork:
     Parameters
     ----------
     protocol:
-        Either an already-built :class:`DHTProtocol`, or the string ``"chord"``
-        / ``"can"`` to build one with the given ``bits``.
+        Either an already-built :class:`DHTProtocol`, or the name of an
+        overlay registered in :mod:`repro.dht.registry` (``"chord"``,
+        ``"can"``, ``"kademlia"``, ...) to build one with the given ``bits``.
     bits:
         Identifier-space size used when ``protocol`` is a string.
     stabilization_interval:
@@ -123,13 +124,9 @@ class DHTNetwork:
 
     def _build_protocol(self, name: str, bits: int,
                         stabilization_interval: float) -> DHTProtocol:
-        name = name.lower()
-        if name == "chord":
-            return ChordRing(bits=bits, stabilization_interval=stabilization_interval,
-                             rng=random.Random(self.rng.getrandbits(64)))
-        if name == "can":
-            return CanSpace(bits=bits, rng=random.Random(self.rng.getrandbits(64)))
-        raise ValueError(f"unknown protocol {name!r}; expected 'chord' or 'can'")
+        return registry.create_overlay(
+            name, bits=bits, stabilization_interval=stabilization_interval,
+            rng=random.Random(self.rng.getrandbits(64)))
 
     # ------------------------------------------------------------- construction
     @classmethod

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core import analysis
+from repro.dht.registry import overlay_names
 from repro.experiments.reporting import ExperimentTable
 from repro.simulation.config import Algorithm, SimulationParameters
 from repro.simulation.harness import run_simulation
@@ -100,6 +101,11 @@ def _churn_rate(profile: Dict[str, object], num_peers: int) -> float:
     """Network-wide churn rate preserving Table 1's per-peer churn intensity."""
     return (float(profile["departures_per_peer"]) * num_peers
             / float(profile["duration_s"]))
+
+
+def _experiment_id(base: str, protocol: str) -> str:
+    """Experiment identifier, suffixed when run over a non-default overlay."""
+    return base if protocol == "chord" else f"{base}-{protocol}"
 
 
 def _metric(result: RunResult, metric: str) -> float:
@@ -188,6 +194,7 @@ def expected_retrievals_table(pt_values: Sequence[float] = (0.1, 0.2, 0.35, 0.5,
 
 # ------------------------------------------------------------------- Figure 6
 def figure6_cluster_scaleup(scale: str = "quick", *, seed: int = 2007,
+                            protocol: str = "chord",
                             metric: str = "response_time") -> ExperimentTable:
     """Figure 6: response time vs number of peers on the 64-node cluster."""
     profile = _profile(scale)
@@ -196,29 +203,35 @@ def figure6_cluster_scaleup(scale: str = "quick", *, seed: int = 2007,
 
     def parameters_for(num_peers: int, algorithm: str) -> SimulationParameters:
         return SimulationParameters.cluster(
-            num_peers=num_peers, algorithm=algorithm, seed=seed,
+            num_peers=num_peers, algorithm=algorithm, seed=seed, protocol=protocol,
             num_queries=int(profile["num_queries"]),
             churn_rate_per_s=_churn_rate(profile, num_peers))
 
     results = _run_sweep(peer_counts, parameters_for, algorithms)
     return _table_from_results(
-        "figure-6", "Response time vs number of peers (cluster)", "peers",
+        _experiment_id("figure-6", protocol),
+        f"Response time vs number of peers (cluster, {protocol})", "peers",
         peer_counts, algorithms, results, metric,
         notes="Cluster cost model (LAN); all three algorithms grow logarithmically, "
               "UMS-Direct < UMS-Indirect < BRK.")
 
 
 # --------------------------------------------------------------- Figures 7 & 8
-def scaleup_results(scale: str = "quick", *, seed: int = 2007
+def scaleup_results(scale: str = "quick", *, seed: int = 2007, protocol: str = "chord"
                     ) -> Tuple[List[int], List[str], Dict[Tuple[object, str], RunResult]]:
-    """The shared sweep behind Figures 7 and 8 (response time & messages vs peers)."""
+    """The shared sweep behind Figures 7 and 8 (response time & messages vs peers).
+
+    ``protocol`` selects the overlay (any name registered in
+    :mod:`repro.dht.registry`), so the same cost curves can be produced for
+    Chord, CAN, Kademlia or a runtime-registered backend.
+    """
     profile = _profile(scale)
     peer_counts = list(profile["peer_counts"])
     algorithms = list(Algorithm.ALL)
 
     def parameters_for(num_peers: int, algorithm: str) -> SimulationParameters:
         return SimulationParameters.table1(
-            num_peers=num_peers, algorithm=algorithm, seed=seed,
+            num_peers=num_peers, algorithm=algorithm, seed=seed, protocol=protocol,
             num_keys=int(profile["num_keys"]), duration_s=float(profile["duration_s"]),
             num_queries=int(profile["num_queries"]),
             churn_rate_per_s=_churn_rate(profile, num_peers))
@@ -227,28 +240,37 @@ def scaleup_results(scale: str = "quick", *, seed: int = 2007
 
 
 def figure7_simulated_scaleup(scale: str = "quick", *, seed: int = 2007,
+                              protocol: str = "chord",
                               precomputed=None) -> ExperimentTable:
     """Figure 7: response time vs number of peers (wide-area simulation)."""
-    peer_counts, algorithms, results = precomputed or scaleup_results(scale, seed=seed)
+    peer_counts, algorithms, results = (precomputed or
+                                        scaleup_results(scale, seed=seed,
+                                                        protocol=protocol))
     return _table_from_results(
-        "figure-7", "Response time vs number of peers (simulation)", "peers",
+        _experiment_id("figure-7", protocol),
+        f"Response time vs number of peers (simulation, {protocol})", "peers",
         peer_counts, algorithms, results, "response_time",
         notes="Table 1 parameters; response time grows logarithmically with peers.")
 
 
 def figure8_messages_vs_peers(scale: str = "quick", *, seed: int = 2007,
+                              protocol: str = "chord",
                               precomputed=None) -> ExperimentTable:
     """Figure 8: communication cost (total messages) vs number of peers."""
-    peer_counts, algorithms, results = precomputed or scaleup_results(scale, seed=seed)
+    peer_counts, algorithms, results = (precomputed or
+                                        scaleup_results(scale, seed=seed,
+                                                        protocol=protocol))
     return _table_from_results(
-        "figure-8", "Communication cost vs number of peers", "peers",
+        _experiment_id("figure-8", protocol),
+        f"Communication cost vs number of peers ({protocol})", "peers",
         peer_counts, algorithms, results, "messages",
         notes="BRK retrieves every replica (≈|Hr| lookups); UMS needs the KTS lookup "
               "plus a couple of probes.")
 
 
 # -------------------------------------------------------------- Figures 9 & 10
-def replica_sweep_results(scale: str = "quick", *, seed: int = 2007
+def replica_sweep_results(scale: str = "quick", *, seed: int = 2007,
+                          protocol: str = "chord"
                           ) -> Tuple[List[int], List[str], Dict[Tuple[object, str], RunResult]]:
     """The shared sweep behind Figures 9 and 10 (|Hr| sweep at the base population)."""
     profile = _profile(scale)
@@ -258,7 +280,8 @@ def replica_sweep_results(scale: str = "quick", *, seed: int = 2007
     def parameters_for(num_replicas: int, algorithm: str) -> SimulationParameters:
         return SimulationParameters.table1(
             num_peers=int(profile["base_peers"]), num_replicas=num_replicas,
-            algorithm=algorithm, seed=seed, num_keys=int(profile["num_keys"]),
+            algorithm=algorithm, seed=seed, protocol=protocol,
+            num_keys=int(profile["num_keys"]),
             duration_s=float(profile["duration_s"]),
             num_queries=int(profile["num_queries"]),
             churn_rate_per_s=_churn_rate(profile, int(profile["base_peers"])))
@@ -267,28 +290,37 @@ def replica_sweep_results(scale: str = "quick", *, seed: int = 2007
 
 
 def figure9_replicas_response_time(scale: str = "quick", *, seed: int = 2007,
+                                   protocol: str = "chord",
                                    precomputed=None) -> ExperimentTable:
     """Figure 9: response time vs number of replicas (|Hr| from 5 to 40)."""
-    replica_counts, algorithms, results = precomputed or replica_sweep_results(scale, seed=seed)
+    replica_counts, algorithms, results = (precomputed or
+                                           replica_sweep_results(scale, seed=seed,
+                                                                 protocol=protocol))
     return _table_from_results(
-        "figure-9", "Response time vs number of replicas", "replicas",
+        _experiment_id("figure-9", protocol),
+        f"Response time vs number of replicas ({protocol})", "replicas",
         replica_counts, algorithms, results, "response_time",
         notes="The replica count strongly affects BRK, slightly affects UMS-Indirect "
               "and has no systematic effect on UMS-Direct.")
 
 
 def figure10_replicas_messages(scale: str = "quick", *, seed: int = 2007,
+                               protocol: str = "chord",
                                precomputed=None) -> ExperimentTable:
     """Figure 10: communication cost vs number of replicas."""
-    replica_counts, algorithms, results = precomputed or replica_sweep_results(scale, seed=seed)
+    replica_counts, algorithms, results = (precomputed or
+                                           replica_sweep_results(scale, seed=seed,
+                                                                 protocol=protocol))
     return _table_from_results(
-        "figure-10", "Communication cost vs number of replicas", "replicas",
+        _experiment_id("figure-10", protocol),
+        f"Communication cost vs number of replicas ({protocol})", "replicas",
         replica_counts, algorithms, results, "messages",
         notes="BRK's message count grows linearly with |Hr|.")
 
 
 # ------------------------------------------------------------------- Figure 11
 def figure11_failure_rate(scale: str = "quick", *, seed: int = 2007,
+                          protocol: str = "chord",
                           metric: str = "response_time") -> ExperimentTable:
     """Figure 11: response time vs failure rate (percentage of departures that fail)."""
     profile = _profile(scale)
@@ -298,14 +330,16 @@ def figure11_failure_rate(scale: str = "quick", *, seed: int = 2007,
     def parameters_for(failure_percent: float, algorithm: str) -> SimulationParameters:
         return SimulationParameters.table1(
             num_peers=int(profile["base_peers"]), failure_rate=failure_percent / 100.0,
-            algorithm=algorithm, seed=seed, num_keys=int(profile["num_keys"]),
+            algorithm=algorithm, seed=seed, protocol=protocol,
+            num_keys=int(profile["num_keys"]),
             duration_s=float(profile["duration_s"]),
             num_queries=int(profile["num_queries"]),
             churn_rate_per_s=_churn_rate(profile, int(profile["base_peers"])))
 
     results = _run_sweep(failure_rates, parameters_for, algorithms)
     return _table_from_results(
-        "figure-11", "Response time vs failure rate", "failure rate (%)",
+        _experiment_id("figure-11", protocol),
+        f"Response time vs failure rate ({protocol})", "failure rate (%)",
         failure_rates, algorithms, results, metric,
         notes="Failures leave stale routing state and lost counters; at high failure "
               "rates UMS-Direct converges towards UMS-Indirect.")
@@ -313,6 +347,7 @@ def figure11_failure_rate(scale: str = "quick", *, seed: int = 2007,
 
 # ------------------------------------------------------------------- Figure 12
 def figure12_update_frequency(scale: str = "quick", *, seed: int = 2007,
+                              protocol: str = "chord",
                               metric: str = "response_time") -> ExperimentTable:
     """Figure 12: response time vs update frequency (updates per hour, UMS only)."""
     profile = _profile(scale)
@@ -322,32 +357,37 @@ def figure12_update_frequency(scale: str = "quick", *, seed: int = 2007,
     def parameters_for(rate_per_hour: float, algorithm: str) -> SimulationParameters:
         return SimulationParameters.table1(
             num_peers=int(profile["base_peers"]), update_rate_per_hour=rate_per_hour,
-            algorithm=algorithm, seed=seed, num_keys=int(profile["num_keys"]),
+            algorithm=algorithm, seed=seed, protocol=protocol,
+            num_keys=int(profile["num_keys"]),
             duration_s=float(profile["duration_s"]),
             num_queries=int(profile["num_queries"]),
             churn_rate_per_s=_churn_rate(profile, int(profile["base_peers"])))
 
     results = _run_sweep(update_rates, parameters_for, algorithms)
     return _table_from_results(
-        "figure-12", "Response time vs frequency of updates", "updates/hour",
+        _experiment_id("figure-12", protocol),
+        f"Response time vs frequency of updates ({protocol})", "updates/hour",
         update_rates, algorithms, results, metric,
         notes="More frequent updates raise the probability of currency and availability, "
               "so fewer replicas need to be retrieved.")
 
 
 # ------------------------------------------------------------------- Ablations
-def ablation_probe_order(scale: str = "quick", *, seed: int = 2007) -> ExperimentTable:
+def ablation_probe_order(scale: str = "quick", *, seed: int = 2007,
+                         protocol: str = "chord") -> ExperimentTable:
     """Ablation: random vs fixed replica probe order in UMS.retrieve."""
     profile = _profile(scale)
     orders = ["random", "fixed"]
     table = ExperimentTable(
-        experiment_id="ablation-probe-order", title="UMS probe order ablation",
+        experiment_id=_experiment_id("ablation-probe-order", protocol),
+        title=f"UMS probe order ablation ({protocol})",
         x_label="probe order", series=["response time (s)", "messages", "replicas inspected"],
         notes="Random order matches the geometric analysis of Section 3.3.")
     for order in orders:
         parameters = SimulationParameters.table1(
             num_peers=int(profile["base_peers"]), algorithm=Algorithm.UMS_DIRECT,
-            probe_order=order, seed=seed, num_keys=int(profile["num_keys"]),
+            probe_order=order, seed=seed, protocol=protocol,
+            num_keys=int(profile["num_keys"]),
             duration_s=float(profile["duration_s"]), num_queries=int(profile["num_queries"]),
             churn_rate_per_s=_churn_rate(profile, int(profile["base_peers"])))
         result = run_simulation(parameters)
@@ -380,18 +420,28 @@ def ablation_stabilization(scale: str = "quick", *, seed: int = 2007,
     return table
 
 
-def ablation_overlay(scale: str = "quick", *, seed: int = 2007) -> ExperimentTable:
-    """Ablation: Chord vs CAN overlay under an identical UMS workload."""
+def ablation_overlay(scale: str = "quick", *, seed: int = 2007,
+                     overlays: Optional[Sequence[str]] = None) -> ExperimentTable:
+    """Ablation: every registered overlay under an identical UMS workload.
+
+    By default the comparison covers every overlay in
+    :mod:`repro.dht.registry` (Chord, CAN, Kademlia and anything registered at
+    runtime); pass ``overlays`` to restrict or reorder the rows.
+    """
     profile = _profile(scale)
+    if overlays is None:
+        overlays = overlay_names()
     # CAN routing is O(n^(1/d)) and the responsibility search is linear in the
     # number of zones, so the overlay comparison runs on a smaller population.
     num_peers = min(200, int(profile["base_peers"]))
     table = ExperimentTable(
-        experiment_id="ablation-overlay", title="Overlay ablation (Chord vs CAN)",
+        experiment_id="ablation-overlay",
+        title=f"Overlay ablation ({' vs '.join(overlays)})",
         x_label="overlay", series=["response time (s)", "messages", "currency rate"],
-        notes=f"UMS-Direct over {num_peers} peers; CAN pays more routing hops "
-              "(O(n^1/d) vs O(log n)) but the currency guarantees are identical.")
-    for protocol in ("chord", "can"):
+        notes=f"UMS-Direct over {num_peers} peers; the routing cost differs "
+              "(O(log n) for Chord/Kademlia, O(n^1/d) for CAN) but the currency "
+              "guarantees are identical on every overlay.")
+    for protocol in overlays:
         parameters = SimulationParameters.quick(
             num_peers=num_peers, algorithm=Algorithm.UMS_DIRECT, protocol=protocol,
             seed=seed, num_queries=int(profile["num_queries"]))

@@ -13,6 +13,7 @@ import sys
 import time
 from typing import List, Optional, TextIO
 
+from repro.dht.registry import overlay_names
 from repro.experiments import figures
 from repro.experiments.reporting import ExperimentTable
 
@@ -20,29 +21,38 @@ __all__ = ["run_all_experiments", "write_experiments_report", "main"]
 
 
 def run_all_experiments(scale: str = "quick", *, seed: int = 2007,
+                        protocol: str = "chord",
                         include_ablations: bool = True) -> List[ExperimentTable]:
     """Regenerate every table/figure of the paper (plus the ablations).
 
     The shared sweeps behind Figures 7/8 and 9/10 are each run once and reused
-    for both tables.
+    for both tables.  ``protocol`` selects the overlay the simulated sweeps
+    run on (any name registered in :mod:`repro.dht.registry`); it applies to
+    Figures 6-12 and the probe-order ablation, while the stabilisation
+    ablation stays on Chord (it ablates a Chord-specific knob) and the
+    overlay ablation compares every registered overlay by design.
     """
     tables: List[ExperimentTable] = [
         figures.table1_parameters(scale),
         figures.expected_retrievals_table(),
-        figures.figure6_cluster_scaleup(scale, seed=seed),
+        figures.figure6_cluster_scaleup(scale, seed=seed, protocol=protocol),
     ]
-    scaleup = figures.scaleup_results(scale, seed=seed)
-    tables.append(figures.figure7_simulated_scaleup(scale, seed=seed, precomputed=scaleup))
-    tables.append(figures.figure8_messages_vs_peers(scale, seed=seed, precomputed=scaleup))
-    replica_sweep = figures.replica_sweep_results(scale, seed=seed)
+    scaleup = figures.scaleup_results(scale, seed=seed, protocol=protocol)
+    tables.append(figures.figure7_simulated_scaleup(scale, seed=seed, protocol=protocol,
+                                                    precomputed=scaleup))
+    tables.append(figures.figure8_messages_vs_peers(scale, seed=seed, protocol=protocol,
+                                                    precomputed=scaleup))
+    replica_sweep = figures.replica_sweep_results(scale, seed=seed, protocol=protocol)
     tables.append(figures.figure9_replicas_response_time(scale, seed=seed,
+                                                         protocol=protocol,
                                                          precomputed=replica_sweep))
     tables.append(figures.figure10_replicas_messages(scale, seed=seed,
+                                                     protocol=protocol,
                                                      precomputed=replica_sweep))
-    tables.append(figures.figure11_failure_rate(scale, seed=seed))
-    tables.append(figures.figure12_update_frequency(scale, seed=seed))
+    tables.append(figures.figure11_failure_rate(scale, seed=seed, protocol=protocol))
+    tables.append(figures.figure12_update_frequency(scale, seed=seed, protocol=protocol))
     if include_ablations:
-        tables.append(figures.ablation_probe_order(scale, seed=seed))
+        tables.append(figures.ablation_probe_order(scale, seed=seed, protocol=protocol))
         tables.append(figures.ablation_stabilization(scale, seed=seed))
         tables.append(figures.ablation_overlay(scale, seed=seed))
     return tables
@@ -73,6 +83,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=2007, help="master random seed")
     parser.add_argument("--output", default=None,
                         help="write the Markdown report to this file (default: stdout)")
+    parser.add_argument("--protocol", choices=overlay_names(), default="chord",
+                        help="DHT overlay for figures 6-12 and the probe-order "
+                             "ablation (the stabilisation ablation is "
+                             "Chord-specific; the overlay ablation always "
+                             "compares every registered overlay)")
     parser.add_argument("--no-ablations", action="store_true",
                         help="skip the ablation studies")
     parser.add_argument("--charts", action="store_true",
@@ -81,6 +96,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     started = time.time()
     tables = run_all_experiments(arguments.scale, seed=arguments.seed,
+                                 protocol=arguments.protocol,
                                  include_ablations=not arguments.no_ablations)
     elapsed = time.time() - started
     if arguments.output:

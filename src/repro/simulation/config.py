@@ -1,4 +1,11 @@
-"""Simulation parameters (Table 1 of the paper) and the algorithm registry."""
+"""Simulation parameters (Table 1 of the paper) and the algorithm registry.
+
+The ``protocol`` field selects the DHT overlay by name and is validated
+against :mod:`repro.dht.registry`, so any overlay registered there (built-in
+Chord/CAN/Kademlia or a runtime-registered backend) can drive every scenario
+— churn, failures, replica scale-up, update frequency — without touching the
+harness.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +14,7 @@ import random
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.dht.registry import is_registered, overlay_names
 from repro.sim.cost import NetworkCostModel
 
 __all__ = ["Algorithm", "SimulationParameters"]
@@ -96,6 +104,9 @@ class SimulationParameters:
 
     def __post_init__(self) -> None:
         Algorithm.validate(self.algorithm)
+        if not is_registered(self.protocol):
+            raise ValueError(f"unknown protocol {self.protocol!r}; registered "
+                             f"overlays: {overlay_names()}")
         if self.num_peers < 2:
             raise ValueError("num_peers must be >= 2")
         if self.num_replicas < 1:

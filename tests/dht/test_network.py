@@ -39,10 +39,14 @@ class TestConstruction:
 
     def test_unknown_protocol_rejected(self):
         with pytest.raises(ValueError):
-            DHTNetwork(protocol="kademlia")
+            DHTNetwork(protocol="pastry")
 
     def test_can_protocol_supported(self):
         network = DHTNetwork.build(8, protocol="can", seed=3)
+        assert network.size == 8
+
+    def test_kademlia_protocol_supported(self):
+        network = DHTNetwork.build(8, protocol="kademlia", seed=3)
         assert network.size == 8
 
     def test_seed_and_rng_mutually_exclusive(self):

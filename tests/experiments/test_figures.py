@@ -98,10 +98,14 @@ class TestAblationsAndRunner:
         table = figures.ablation_probe_order("tiny", seed=SEED)
         assert table.x_values() == ["random", "fixed"]
 
-    def test_ablation_overlay_compares_chord_and_can(self):
+    def test_ablation_overlay_compares_every_registered_overlay(self):
         table = figures.ablation_overlay("tiny", seed=SEED)
-        assert table.x_values() == ["chord", "can"]
+        assert table.x_values() == ["can", "chord", "kademlia"]
         assert all(value > 0 for value in table.series_values("messages"))
+
+    def test_ablation_overlay_accepts_an_explicit_subset(self):
+        table = figures.ablation_overlay("tiny", seed=SEED, overlays=("chord", "can"))
+        assert table.x_values() == ["chord", "can"]
 
     def test_ablation_stabilization_rows_match_intervals(self):
         table = figures.ablation_stabilization("tiny", seed=SEED, intervals=(0.0, 300.0))

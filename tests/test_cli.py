@@ -26,6 +26,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             cli.build_parser().parse_args(["simulate", "--algorithm", "paxos"])
 
+    def test_simulate_accepts_every_registered_overlay(self):
+        from repro.dht.registry import overlay_names
+        for protocol in overlay_names():
+            arguments = cli.build_parser().parse_args(
+                ["simulate", "--protocol", protocol])
+            assert arguments.protocol == protocol
+
+    def test_simulate_rejects_unknown_overlay(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["simulate", "--protocol", "pastry"])
+
     def test_experiments_defaults(self):
         arguments = cli.build_parser().parse_args(["experiments"])
         assert arguments.scale == "quick"
@@ -52,9 +63,20 @@ class TestSimulateCommand:
         cli.simulate_command(self._args("--json", "--algorithm", "brk"), stream=stream)
         payload = json.loads(stream.getvalue())
         assert payload["algorithm"] == "brk"
+        assert payload["protocol"] == "chord"
         assert payload["num_peers"] == 80
         assert payload["queries"] == 6.0
         assert payload["avg_response_time_s"] > 0.0
+
+    def test_simulate_runs_over_kademlia(self):
+        stream = io.StringIO()
+        exit_code = cli.simulate_command(
+            self._args("--json", "--protocol", "kademlia"), stream=stream)
+        payload = json.loads(stream.getvalue())
+        assert exit_code == 0
+        assert payload["protocol"] == "kademlia"
+        assert payload["avg_response_time_s"] > 0.0
+        assert payload["avg_messages"] > 0.0
 
     def test_cluster_flag_switches_cost_model(self):
         stream_wan = io.StringIO()

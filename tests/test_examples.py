@@ -12,6 +12,7 @@ EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
 FAST_EXAMPLES = [
     "quickstart.py",
+    "overlay_selection.py",
     "agenda_sharing.py",
     "cooperative_auction.py",
     "reservation_management.py",
