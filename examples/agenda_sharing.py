@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 
-from repro import build_service_stack
+from repro.api import Cluster
 from repro.apps import SharedAgenda
 
 
@@ -32,24 +32,25 @@ def churn(network, rng: random.Random, departures: int, failure_probability: flo
 
 def main() -> None:
     rng = random.Random(7)
-    stack = build_service_stack(num_peers=128, num_replicas=10, seed=7)
-    agenda = SharedAgenda(stack.ums, "atlas-team")
+    cluster = Cluster.build(peers=128, replicas=10, seed=7)
+    session = cluster.session()
+    agenda = SharedAgenda(session, "atlas-team")
 
     print("== a week of scheduling under churn ==")
     agenda.add_entry("Kick-off meeting", start=9.0, end=10.0,
                      participants=["alice", "bob"])
-    churn(stack.network, rng, departures=10)
+    churn(cluster.network, rng, departures=10)
 
     agenda.add_entry("Design review", start=11.0, end=12.5,
                      participants=["alice", "carol"])
-    churn(stack.network, rng, departures=10)
+    churn(cluster.network, rng, departures=10)
 
     agenda.add_entry("SIGMOD dry-run", start=14.0, end=15.0,
                      participants=["alice", "bob", "carol"])
-    churn(stack.network, rng, departures=10)
+    churn(cluster.network, rng, departures=10)
 
-    print(f"entries after churn ({stack.network.stats.failures} failures, "
-          f"{stack.network.stats.leaves} leaves, {stack.network.stats.joins} joins):")
+    print(f"entries after churn ({cluster.network.stats.failures} failures, "
+          f"{cluster.network.stats.leaves} leaves, {cluster.network.stats.joins} joins):")
     for entry in agenda.entries():
         people = ", ".join(entry.participants)
         print(f"  [{entry.entry_id}] {entry.title:<18} {entry.start:>5.1f}–{entry.end:<5.1f} ({people})")
@@ -64,11 +65,14 @@ def main() -> None:
     cancelled = agenda.cancel_entry(2)
     print(f"cancelled: {cancelled}; remaining entries: {len(agenda)}")
 
-    result = stack.ums.retrieve(agenda.key)
+    result = session.retrieve(agenda.key)
     print()
     print(f"final read was certified current: {result.is_current} "
-          f"(probed {result.replicas_inspected} of {stack.replication.factor} replicas, "
-          f"{result.trace.message_count} messages)")
+          f"(probed {result.replicas_inspected} of {cluster.replication.factor} replicas, "
+          f"{result.message_count} messages)")
+    print(f"session traffic for the whole week: {session.operations} operations, "
+          f"{session.messages_sent} messages")
+    session.close()
 
 
 if __name__ == "__main__":

@@ -20,14 +20,15 @@ Run with::
 
 from __future__ import annotations
 
-from repro import build_service_stack
+from repro.api import Cluster
 from repro.apps import Auction, BidRejected
 
 
 def ums_auction() -> None:
     print("== UMS-backed auction ==")
-    stack = build_service_stack(num_peers=96, num_replicas=10, seed=11)
-    auction = Auction(stack.ums, "violin-1713", seller="sotheby", reserve_price=100.0,
+    cluster = Cluster.build(peers=96, replicas=10, seed=11)
+    session = cluster.session()
+    auction = Auction(session, "violin-1713", seller="sotheby", reserve_price=100.0,
                       minimum_increment=5.0)
     auction.open()
 
@@ -45,13 +46,16 @@ def ums_auction() -> None:
     history = [bid.amount for bid in auction.bids()]
     print(f"  accepted bid history is strictly increasing: "
           f"{all(b > a for a, b in zip(history, history[1:]))}")
+    print(f"  session traffic: {session.operations} operations, "
+          f"{session.messages_sent} messages")
+    session.close()
     print()
 
 
 def brk_auction() -> None:
     print("== BRK-backed auction (no currency guarantee) ==")
-    stack = build_service_stack(num_peers=96, num_replicas=10, seed=11)
-    brk = stack.brk
+    cluster = Cluster.build(peers=96, replicas=10, service="brk", seed=11)
+    brk = cluster.service()
     key = "auction:violin-1713"
     opening = brk.insert(key, {"status": "open", "high_bid": 100.0, "bidder": "alice"})
 
@@ -60,7 +64,8 @@ def brk_auction() -> None:
     # Their messages reach the replica holders in different orders (carol's
     # update does not reach half of them), leaving same-version replicas with
     # different contents.
-    holders = sorted({stack.network.responsible_peer(key, h) for h in stack.replication})
+    holders = sorted({cluster.network.responsible_peer(key, h)
+                      for h in cluster.replication})
     brk.insert(key, {"status": "open", "high_bid": 120.0, "bidder": "bob"},
                observed_version=opening.version)
     brk.insert(key, {"status": "open", "high_bid": 110.0, "bidder": "carol"},

@@ -19,17 +19,18 @@ Run with::
 
 from __future__ import annotations
 
-from repro import build_service_stack
+from repro.api import Cluster
 from repro.simulation import Algorithm, SimulationParameters, run_simulation
 
 
 def lost_counter_walkthrough() -> None:
     print("== 1-3. losing and repairing the timestamping counter ==")
-    stack = build_service_stack(num_peers=96, num_replicas=10, seed=5)
-    network, kts, ums = stack.network, stack.kts, stack.ums
+    cluster = Cluster.build(peers=96, replicas=10, seed=5)
+    network, kts = cluster.network, cluster.kts
+    session = cluster.session()
 
-    ums.insert("ledger", {"balance": 100})
-    ums.insert("ledger", {"balance": 120})
+    session.insert("ledger", {"balance": 100})
+    session.insert("ledger", {"balance": 120})
     responsible = kts.responsible_of_timestamping("ledger")
     print(f"responsible of timestamping: peer {responsible}")
     print(f"last timestamp before the failure: {kts.last_ts('ledger').value}")
@@ -54,11 +55,12 @@ def lost_counter_walkthrough() -> None:
     print(f"recovery applied a correction: {corrected}; "
           f"last timestamp now {kts.last_ts('ledger').value}")
 
-    next_update = ums.insert("ledger", {"balance": 150})
+    next_update = session.insert("ledger", {"balance": 150})
     print(f"next update obtained timestamp {next_update.timestamp.value} "
           f"(> {orphan.value}, monotonicity preserved)")
-    outcome = ums.retrieve("ledger")
+    outcome = session.retrieve("ledger")
     print(f"retrieve returns {outcome.data} — certified current: {outcome.is_current}")
+    session.close()
     print()
 
 

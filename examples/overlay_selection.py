@@ -15,25 +15,25 @@ Run with::
 
 from __future__ import annotations
 
-from repro import build_service_stack
+from repro.api import Cluster
 from repro.dht.chord import ChordRing
 from repro.dht.registry import overlay_names, register_overlay, unregister_overlay
 
 
 def exercise(protocol: str) -> None:
     """Insert, churn a little, retrieve — report the per-overlay costs."""
-    stack = build_service_stack(num_peers=60, num_replicas=8,
-                                protocol=protocol, seed=2007)
-    stack.ums.insert("meeting-room", {"slot": "09:00", "owner": "alice"})
-    # A bit of churn: the data and the timestamp counters must follow the
-    # responsibility changes regardless of the routing substrate.
-    for _ in range(6):
-        stack.network.leave_peer(stack.network.random_alive_peer())
-        stack.network.join_peer()
-    stack.ums.insert("meeting-room", {"slot": "14:00", "owner": "bob"})
-    result = stack.ums.retrieve("meeting-room")
+    cluster = Cluster.build(peers=60, replicas=8, protocol=protocol, seed=2007)
+    with cluster.session() as session:
+        session.insert("meeting-room", {"slot": "09:00", "owner": "alice"})
+        # A bit of churn: the data and the timestamp counters must follow the
+        # responsibility changes regardless of the routing substrate.
+        for _ in range(6):
+            cluster.network.leave_peer(cluster.network.random_alive_peer())
+            cluster.network.join_peer()
+        session.insert("meeting-room", {"slot": "14:00", "owner": "bob"})
+        result = session.retrieve("meeting-room")
     print(f"  {protocol:<12} -> {result.data}  current? {result.is_current}, "
-          f"{result.trace.message_count} messages, "
+          f"{result.message_count} messages, "
           f"{result.replicas_inspected} replica(s) probed")
 
 

@@ -19,16 +19,16 @@ from __future__ import annotations
 
 import random
 
-from repro import build_service_stack
+from repro.api import Cluster
 from repro.apps import ReservationBook, SeatAlreadyTaken
 
 
 def main() -> None:
     rng = random.Random(21)
-    stack = build_service_stack(num_peers=150, num_replicas=12, seed=21)
-    network, ums = stack.network, stack.ums
+    cluster = Cluster.build(peers=150, replicas=12, seed=21)
+    network, session = cluster.network, cluster.session()
 
-    book = ReservationBook(ums, "opera-house", capacity=20)
+    book = ReservationBook(session, "opera-house", capacity=20)
     book.initialize()
 
     print("== customers reserve seats ==")
@@ -47,13 +47,13 @@ def main() -> None:
     print()
 
     print("== an update misses two replica holders ==")
-    holders = {network.responsible_peer(book.key, h) for h in stack.replication}
+    holders = {network.responsible_peer(book.key, h) for h in cluster.replication}
     unreachable = frozenset(list(holders)[:2])
-    state = ums.retrieve(book.key).data
+    state = session.retrieve(book.key).data
     state["reservations"]["seat-19"] = "vip-guest"
-    ums.insert(book.key, dict(state), unreachable=unreachable)
+    session.insert(book.key, dict(state), unreachable=unreachable)
     print(f"  update reached {len(holders) - len(unreachable)}/{len(holders)} replica holders")
-    print(f"  p_t after the partial update: {ums.currency_probability(book.key):.2f}")
+    print(f"  p_t after the partial update: {cluster.currency_probability(book.key):.2f}")
     print(f"  seat-19 is now held by: {book.holder_of('seat-19')}")
     print()
 
@@ -70,9 +70,10 @@ def main() -> None:
     print(f"  new reservation after churn: {seat}")
     print(f"  reservations intact: {len(book.reservations())} seats held, "
           f"occupancy {book.occupancy():.0%}")
-    result = ums.retrieve(book.key)
+    result = session.retrieve(book.key)
     print(f"  final read certified current: {result.is_current} "
           f"({result.replicas_inspected} replicas probed)")
+    session.close()
 
 
 if __name__ == "__main__":

@@ -2,6 +2,9 @@
 
 The package provides:
 
+* the **unified client API** — ``Cluster.build(...)`` + ``Session`` handles,
+  shared result types, per-retrieve consistency levels and the name-keyed
+  currency-service registry — in :mod:`repro.api`;
 * a simulated DHT substrate (Chord, CAN and Kademlia overlays, replica storage, churn,
   message accounting) in :mod:`repro.dht`;
 * a discrete-event simulation engine and network cost models in :mod:`repro.sim`;
@@ -16,21 +19,23 @@ The package provides:
 
 Quickstart
 ----------
->>> from repro import build_service_stack
->>> stack = build_service_stack(num_peers=32, num_replicas=8, seed=7)
->>> stack.ums.insert("auction:42", {"high_bid": 100})        # doctest: +ELLIPSIS
-InsertResult(...)
->>> result = stack.ums.retrieve("auction:42")
+>>> from repro import Cluster
+>>> cluster = Cluster.build(peers=32, replicas=8, seed=7)
+>>> with cluster.session() as session:
+...     _ = session.insert("auction:42", {"high_bid": 100})
+...     result = session.retrieve("auction:42")
 >>> result.data, result.is_current
 ({'high_bid': 100}, True)
 """
 
+from repro.api.cluster import Cluster, Session
+from repro.api.results import Consistency, InsertResult, RetrieveResult
+from repro.api.services import CurrencyService, register_service, service_names
 from repro.core import (
     BricksService,
     CounterInitialization,
     KeyBasedTimestampService,
     ReplicationScheme,
-    RetrieveResult,
     ServiceStack,
     Timestamp,
     UpdateManagementService,
@@ -39,23 +44,30 @@ from repro.core import (
 from repro.dht import CanSpace, ChordRing, DHTNetwork, HashFamily
 from repro.sim import NetworkCostModel, Simulator
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BricksService",
     "CanSpace",
     "ChordRing",
+    "Cluster",
+    "Consistency",
     "CounterInitialization",
+    "CurrencyService",
     "DHTNetwork",
     "HashFamily",
+    "InsertResult",
     "KeyBasedTimestampService",
     "NetworkCostModel",
     "ReplicationScheme",
     "RetrieveResult",
     "ServiceStack",
+    "Session",
     "Simulator",
     "Timestamp",
     "UpdateManagementService",
     "__version__",
     "build_service_stack",
+    "register_service",
+    "service_names",
 ]

@@ -1,0 +1,192 @@
+"""The :class:`CurrencyService` protocol and the name-keyed service registry.
+
+The paper's point is that UMS turns a DHT into a *service*: currency-aware
+``insert``/``retrieve`` over any overlay.  This module lifts the pluggable
+pattern of :mod:`repro.dht.registry` one layer up: currency algorithms are
+registered by name and resolved through one interface, so the harness, the
+CLI, the apps and the benchmarks can swap ``"ums"`` for ``"brk"`` (or a
+runtime-registered algorithm) exactly the way they already swap overlays.
+
+Two services ship registered:
+
+* ``"ums"`` — the paper's Update Management Service (timestamps via KTS,
+  certified-current retrieval, Figure 2);
+* ``"brk"`` — the BRICKS baseline (version numbers, retrieve-all, Section 5).
+
+Adding an algorithm is one call::
+
+    from repro.api import register_service
+
+    def build_quorum(*, network, replication, kts, rng, **extra):
+        return QuorumService(network, replication, rng=rng, **extra)
+
+    register_service("quorum", build_quorum)
+
+after which ``Cluster.build(..., service="quorum")``, the simulation harness
+and the conformance suite all accept the new name.  A factory is a callable
+taking keyword arguments ``network``, ``replication``, ``kts`` and ``rng``
+(plus service-specific extras) and returning an object satisfying
+:class:`CurrencyService`; factories are free to ignore ``kts`` when the
+algorithm does not use timestamps (BRK does).
+
+Every registered service must return the **shared** result types of
+:mod:`repro.api.results` and honour the :class:`~repro.api.results.Consistency`
+levels, which is what makes costs comparable across algorithms.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+from repro.api.results import (
+    BatchInsertResult,
+    BatchRetrieveResult,
+    Consistency,
+    InsertResult,
+    RetrieveResult,
+)
+
+__all__ = [
+    "CurrencyService",
+    "ServiceFactory",
+    "create_service",
+    "is_service_registered",
+    "register_service",
+    "service_names",
+    "unregister_service",
+]
+
+
+@runtime_checkable
+class CurrencyService(Protocol):
+    """What every currency algorithm must provide.
+
+    The operations mirror Section 3 of the paper: a timestamp- (or version-)
+    stamped write to every replica, and a read honouring the requested
+    :class:`~repro.api.results.Consistency` level.  The batched variants
+    amortise lookups and replica probes across keys; implementations are
+    expected to send measurably fewer messages than the equivalent per-key
+    loop.
+    """
+
+    def insert(self, key: Any, data: Any, *, origin: Optional[int] = None,
+               unreachable: FrozenSet[int] = frozenset()) -> InsertResult:
+        """Write ``key`` to every replica holder."""
+        ...
+
+    def retrieve(self, key: Any, *, origin: Optional[int] = None,
+                 unreachable: FrozenSet[int] = frozenset(),
+                 consistency: str = Consistency.CURRENT,
+                 max_probes: Optional[int] = None) -> RetrieveResult:
+        """Read ``key`` under the requested consistency level."""
+        ...
+
+    def insert_many(self, items: Sequence[Tuple[Any, Any]], *,
+                    origin: Optional[int] = None,
+                    unreachable: FrozenSet[int] = frozenset()) -> BatchInsertResult:
+        """Write several keys, amortising timestamping and replica writes."""
+        ...
+
+    def retrieve_many(self, keys: Sequence[Any], *, origin: Optional[int] = None,
+                      unreachable: FrozenSet[int] = frozenset(),
+                      consistency: str = Consistency.CURRENT,
+                      max_probes: Optional[int] = None) -> BatchRetrieveResult:
+        """Read several keys, interleaving replica probes across them."""
+        ...
+
+
+#: Signature of a service factory: keyword-only ``network``, ``replication``,
+#: ``kts`` and ``rng`` plus service-specific extras.
+ServiceFactory = Callable[..., CurrencyService]
+
+_FACTORIES: Dict[str, ServiceFactory] = {}
+
+
+def register_service(name: str, factory: ServiceFactory, *,
+                     replace: bool = False) -> None:
+    """Register ``factory`` under ``name`` (case-insensitive).
+
+    Raises :class:`ValueError` when the name is already taken, unless
+    ``replace=True`` is passed explicitly.
+    """
+    key = name.lower()
+    if not key:
+        raise ValueError("service name must be a non-empty string")
+    if key in _FACTORIES and not replace:
+        raise ValueError(f"service {key!r} is already registered; "
+                         "pass replace=True to override it")
+    _FACTORIES[key] = factory
+
+
+def unregister_service(name: str) -> None:
+    """Remove ``name`` from the registry (raises ``ValueError`` if absent)."""
+    key = name.lower()
+    if key not in _FACTORIES:
+        raise ValueError(f"service {key!r} is not registered")
+    del _FACTORIES[key]
+
+
+def is_service_registered(name: str) -> bool:
+    """Whether ``name`` resolves to a registered service factory."""
+    return name.lower() in _FACTORIES
+
+
+def service_names() -> Tuple[str, ...]:
+    """The registered service names, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def create_service(name: str, *, network, replication, kts=None,
+                   seed: Optional[int] = None,
+                   rng: Optional[random.Random] = None,
+                   **extra) -> CurrencyService:
+    """Build the currency service registered under ``name``.
+
+    ``network``, ``replication`` and ``kts`` are the substrate every caller
+    (:class:`~repro.api.cluster.Cluster`, the harness, tests) provides;
+    ``extra`` is forwarded verbatim for service-specific options (e.g. UMS's
+    ``probe_order``).
+    """
+    key = name.lower()
+    factory = _FACTORIES.get(key)
+    if factory is None:
+        known = ", ".join(repr(known_name) for known_name in service_names())
+        raise ValueError(f"unknown service {key!r}; registered services: {known}")
+    if rng is None:
+        rng = random.Random(seed)
+    return factory(network=network, replication=replication, kts=kts, rng=rng,
+                   **extra)
+
+
+# --------------------------------------------------------- built-in services
+def _build_ums(*, network, replication, kts, rng, **extra) -> CurrencyService:
+    # Imported lazily: repro.core imports the shared result types from
+    # repro.api, so the factory must not import repro.core at module level.
+    from repro.core.ums import UpdateManagementService
+
+    if kts is None:
+        raise ValueError("the 'ums' service requires a KTS instance "
+                         "(timestamps are its whole point)")
+    return UpdateManagementService(network, kts, replication, rng=rng, **extra)
+
+
+def _build_brk(*, network, replication, kts, rng, **extra) -> CurrencyService:
+    from repro.core.baseline import BricksService
+
+    # BRK has no timestamping service; ``kts`` is accepted and ignored.
+    return BricksService(network, replication, rng=rng, **extra)
+
+
+register_service("ums", _build_ums)
+register_service("brk", _build_brk)

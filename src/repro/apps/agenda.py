@@ -1,20 +1,25 @@
 """Shared agenda management on a replicated DHT (paper Section 1).
 
 Several peers maintain a common agenda stored under one DHT key.  Every
-mutation is a read-modify-write cycle through UMS: retrieve the current
-agenda (UMS guarantees the *current* replica whenever one is available),
-apply the change and insert the new version.  Because UMS timestamps every
-insert, concurrent writers converge on the version carrying the latest
-timestamp instead of silently diverging — exactly the behaviour a plain DHT
-``put``/``get`` cannot offer.
+mutation is a read-modify-write cycle through the currency service: retrieve
+the current agenda (UMS guarantees the *current* replica whenever one is
+available), apply the change and insert the new version.  Because UMS
+timestamps every insert, concurrent writers converge on the version carrying
+the latest timestamp instead of silently diverging — exactly the behaviour a
+plain DHT ``put``/``get`` cannot offer.
+
+The application talks to any object satisfying the
+:class:`repro.api.CurrencyService` protocol — typically a
+:class:`repro.api.Session` opened on a cluster, but a bare service instance
+works identically.
 """
 
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.ums import RetrieveResult, UpdateManagementService
+from repro.api.results import RetrieveResult
 
 __all__ = ["AgendaEntry", "SharedAgenda", "StaleAgendaError"]
 
@@ -52,8 +57,9 @@ class SharedAgenda:
 
     Parameters
     ----------
-    ums:
-        The update management service used for reads and writes.
+    service:
+        The currency service (or :class:`repro.api.Session`) used for reads
+        and writes.
     agenda_id:
         Identifier of the agenda; the DHT key is ``"agenda:<agenda_id>"``.
     require_current:
@@ -62,11 +68,16 @@ class SharedAgenda:
         :class:`StaleAgendaError` instead of risking lost updates.
     """
 
-    def __init__(self, ums: UpdateManagementService, agenda_id: str, *,
+    def __init__(self, service, agenda_id: str, *,
                  require_current: bool = True) -> None:
-        self.ums = ums
+        self.service = service
         self.agenda_id = agenda_id
         self.require_current = require_current
+
+    @property
+    def ums(self):
+        """Deprecated alias of :attr:`service` (kept for the pre-API callers)."""
+        return self.service
 
     @property
     def key(self) -> str:
@@ -74,8 +85,8 @@ class SharedAgenda:
         return f"agenda:{self.agenda_id}"
 
     # ------------------------------------------------------------------- read
-    def _snapshot(self) -> (List[AgendaEntry], RetrieveResult):
-        result = self.ums.retrieve(self.key)
+    def _snapshot(self) -> Tuple[List[AgendaEntry], RetrieveResult]:
+        result = self.service.retrieve(self.key)
         if not result.found:
             return [], result
         entries = [AgendaEntry.from_dict(entry) for entry in result.data.get("entries", [])]
@@ -94,9 +105,9 @@ class SharedAgenda:
     # ------------------------------------------------------------------ write
     def _write(self, entries: List[AgendaEntry], next_id: int) -> None:
         payload = {"entries": [entry.to_dict() for entry in entries], "next_id": next_id}
-        self.ums.insert(self.key, payload)
+        self.service.insert(self.key, payload)
 
-    def _mutable_snapshot(self) -> (List[AgendaEntry], int):
+    def _mutable_snapshot(self) -> Tuple[List[AgendaEntry], int]:
         entries, result = self._snapshot()
         if result.found and not result.is_current and self.require_current:
             raise StaleAgendaError(

@@ -5,14 +5,15 @@ the DHT.  Accepting a bid requires reading the *current* high bid — reading a
 stale replica would let a lower bid overwrite a higher one.  UMS provides that
 currency guarantee; the BRK baseline cannot (two concurrent bids can end up
 with the same version number and an arbitrary winner).
+
+The application talks to any :class:`repro.api.CurrencyService` — typically a
+:class:`repro.api.Session` opened on a cluster.
 """
 
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional
-
-from repro.core.ums import UpdateManagementService
 
 __all__ = ["Auction", "Bid", "BidRejected"]
 
@@ -41,16 +42,21 @@ class Bid:
 class Auction:
     """A single-item English auction whose state lives in the replicated DHT."""
 
-    def __init__(self, ums: UpdateManagementService, auction_id: str, *,
+    def __init__(self, service, auction_id: str, *,
                  seller: str = "", reserve_price: float = 0.0,
                  minimum_increment: float = 1.0) -> None:
         if reserve_price < 0 or minimum_increment <= 0:
             raise ValueError("reserve_price must be >= 0 and minimum_increment > 0")
-        self.ums = ums
+        self.service = service
         self.auction_id = auction_id
         self.seller = seller
         self.reserve_price = reserve_price
         self.minimum_increment = minimum_increment
+
+    @property
+    def ums(self):
+        """Deprecated alias of :attr:`service` (kept for the pre-API callers)."""
+        return self.service
 
     @property
     def key(self) -> str:
@@ -60,12 +66,12 @@ class Auction:
     # ------------------------------------------------------------------ state
     def open(self) -> None:
         """Create (or reset) the auction state in the DHT."""
-        self.ums.insert(self.key, {"status": "open", "seller": self.seller,
+        self.service.insert(self.key, {"status": "open", "seller": self.seller,
                                    "reserve_price": self.reserve_price,
                                    "bids": []})
 
     def _state(self) -> Dict[str, Any]:
-        result = self.ums.retrieve(self.key)
+        result = self.service.retrieve(self.key)
         if not result.found:
             raise BidRejected(f"auction {self.auction_id!r} does not exist")
         if not result.is_current:
@@ -101,13 +107,13 @@ class Auction:
                 f"bid of {amount} is below the minimum acceptable amount {minimum_acceptable}")
         accepted = Bid(bidder=bidder, amount=amount, sequence=len(bids))
         state["bids"] = [bid.to_dict() for bid in bids] + [accepted.to_dict()]
-        self.ums.insert(self.key, state)
+        self.service.insert(self.key, state)
         return accepted
 
     def close(self) -> Optional[Bid]:
         """Close the auction and return the winning bid (if any)."""
         state = self._state()
         state["status"] = "closed"
-        self.ums.insert(self.key, state)
+        self.service.insert(self.key, state)
         bids = [Bid.from_dict(entry) for entry in state["bids"]]
         return max(bids, key=lambda bid: bid.amount) if bids else None

@@ -5,13 +5,14 @@ one key.  Reserving requires knowing the *current* occupancy: acting on a
 stale replica double-books seats.  The implementation follows the same
 read-modify-write pattern as the other applications, refusing to mutate when
 no current replica is available.
+
+The application talks to any :class:`repro.api.CurrencyService` — typically a
+:class:`repro.api.Session` opened on a cluster.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
-
-from repro.core.ums import UpdateManagementService
 
 __all__ = ["ReservationBook", "ReservationError", "SeatAlreadyTaken"]
 
@@ -32,7 +33,7 @@ class SeatAlreadyTaken(ReservationError):
 class ReservationBook:
     """Seat reservations for one resource, replicated in the DHT."""
 
-    def __init__(self, ums: UpdateManagementService, resource_id: str, *,
+    def __init__(self, service, resource_id: str, *,
                  seats: Optional[List[str]] = None, capacity: Optional[int] = None) -> None:
         if seats is None:
             if capacity is None or capacity < 1:
@@ -40,9 +41,14 @@ class ReservationBook:
             seats = [f"seat-{index}" for index in range(capacity)]
         if len(set(seats)) != len(seats):
             raise ValueError("seat identifiers must be unique")
-        self.ums = ums
+        self.service = service
         self.resource_id = resource_id
         self.seats = list(seats)
+
+    @property
+    def ums(self):
+        """Deprecated alias of :attr:`service` (kept for the pre-API callers)."""
+        return self.service
 
     @property
     def key(self) -> str:
@@ -52,10 +58,10 @@ class ReservationBook:
     # ------------------------------------------------------------------ state
     def initialize(self) -> None:
         """Create an empty reservation book in the DHT."""
-        self.ums.insert(self.key, {"seats": self.seats, "reservations": {}})
+        self.service.insert(self.key, {"seats": self.seats, "reservations": {}})
 
     def _state(self) -> Dict[str, Any]:
-        result = self.ums.retrieve(self.key)
+        result = self.service.retrieve(self.key)
         if not result.found:
             raise ReservationError(
                 f"reservation book {self.resource_id!r} has not been initialised")
@@ -102,7 +108,7 @@ class ReservationBook:
             raise SeatAlreadyTaken(seat, reservations[seat])
         reservations[seat] = customer
         state["reservations"] = reservations
-        self.ums.insert(self.key, state)
+        self.service.insert(self.key, state)
         return seat
 
     def cancel(self, seat: str) -> bool:
@@ -113,5 +119,5 @@ class ReservationBook:
             return False
         del reservations[seat]
         state["reservations"] = reservations
-        self.ums.insert(self.key, state)
+        self.service.insert(self.key, state)
         return True

@@ -1,19 +1,24 @@
 """Command-line interface.
 
-Two entry points are provided (also installable as console scripts):
+Three entry points are provided (also installable as console scripts, and
+reachable as ``python -m repro``):
 
-* ``python -m repro.cli simulate`` — run one simulation (one algorithm, one
+* ``python -m repro simulate`` — run one simulation (one algorithm, one
   parameter point) and print the measured response time / communication cost;
-* ``python -m repro.cli experiments`` — regenerate the paper's tables and
-  figures (thin wrapper over :mod:`repro.experiments.runner`).
+* ``python -m repro experiments`` — regenerate the paper's tables and
+  figures (thin wrapper over :mod:`repro.experiments.runner`);
+* ``python -m repro registry`` — list the pluggable backends: the DHT
+  overlays of :mod:`repro.dht.registry` and the currency services of
+  :mod:`repro.api.services`.
 
 Examples
 --------
 ::
 
-    python -m repro.cli simulate --algorithm ums-direct --peers 2000 --duration 1800
-    python -m repro.cli simulate --algorithm brk --peers 500 --replicas 20 --json
-    python -m repro.cli experiments --scale quick --output results.md
+    python -m repro simulate --algorithm ums-direct --peers 2000 --duration 1800
+    python -m repro simulate --algorithm brk --peers 500 --replicas 20 --json
+    python -m repro simulate --consistency best-effort --peers 500
+    python -m repro experiments --scale quick --output results.md
 """
 
 from __future__ import annotations
@@ -23,12 +28,14 @@ import json
 import sys
 from typing import List, Optional
 
+from repro.api.results import Consistency
+from repro.api.services import service_names
 from repro.dht.registry import overlay_names
 from repro.experiments import runner as experiments_runner
 from repro.simulation.config import Algorithm, SimulationParameters
 from repro.simulation.harness import run_simulation
 
-__all__ = ["build_parser", "main", "simulate_command"]
+__all__ = ["build_parser", "main", "registry_command", "simulate_command"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,6 +66,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--protocol", choices=overlay_names(), default="chord",
                           help="DHT overlay (any overlay registered in "
                                "repro.dht.registry)")
+    simulate.add_argument("--consistency", choices=Consistency.ALL,
+                          default=Consistency.CURRENT,
+                          help="per-retrieve freshness contract: 'current' is the "
+                               "paper's certified retrieval, 'any' a first-replica "
+                               "read, 'best-effort' a bounded-probe read")
     simulate.add_argument("--cluster", action="store_true",
                           help="use the 64-node-cluster cost model instead of Table 1's WAN")
     simulate.add_argument("--seed", type=int, default=2007)
@@ -73,6 +85,9 @@ def build_parser() -> argparse.ArgumentParser:
                                   "probe-order ablation")
     experiments.add_argument("--output", default=None)
     experiments.add_argument("--no-ablations", action="store_true")
+
+    subparsers.add_parser(
+        "registry", help="list the registered DHT overlays and currency services")
     return parser
 
 
@@ -89,7 +104,8 @@ def _parameters_from_args(arguments: argparse.Namespace) -> SimulationParameters
         failure_rate=arguments.failure_rate / 100.0,
         update_rate_per_hour=arguments.update_rate, protocol=arguments.protocol,
         cost_model_preset="cluster" if arguments.cluster else "wide-area",
-        algorithm=arguments.algorithm, seed=arguments.seed)
+        algorithm=arguments.algorithm, consistency=arguments.consistency,
+        seed=arguments.seed)
 
 
 def simulate_command(arguments: argparse.Namespace, *, stream=None) -> int:
@@ -100,13 +116,17 @@ def simulate_command(arguments: argparse.Namespace, *, stream=None) -> int:
     summary = result.summary()
     if arguments.json:
         payload = {"algorithm": result.algorithm, "protocol": parameters.protocol,
+                   "service": Algorithm.service_name(result.algorithm),
+                   "consistency": parameters.consistency,
                    "num_peers": result.num_peers,
                    "num_replicas": result.num_replicas, **summary}
         stream.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         return 0
     label = Algorithm.label(result.algorithm)
     stream.write(f"algorithm            : {label}\n")
+    stream.write(f"service              : {Algorithm.service_name(result.algorithm)}\n")
     stream.write(f"overlay              : {parameters.protocol}\n")
+    stream.write(f"consistency          : {parameters.consistency}\n")
     stream.write(f"peers / replicas     : {result.num_peers} / {result.num_replicas}\n")
     stream.write(f"queries measured     : {result.query_count}\n")
     stream.write(f"avg response time    : {result.avg_response_time_s:.2f} s\n")
@@ -118,12 +138,23 @@ def simulate_command(arguments: argparse.Namespace, *, stream=None) -> int:
     return 0
 
 
+def registry_command(arguments: argparse.Namespace, *, stream=None) -> int:
+    """Run the ``registry`` sub-command: list the pluggable backends."""
+    stream = stream if stream is not None else sys.stdout
+    stream.write(f"overlays (repro.dht.registry) : {', '.join(overlay_names())}\n")
+    stream.write(f"services (repro.api.services) : {', '.join(service_names())}\n")
+    stream.write(f"consistency levels            : {', '.join(Consistency.ALL)}\n")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     arguments = parser.parse_args(argv)
     if arguments.command == "simulate":
         return simulate_command(arguments)
+    if arguments.command == "registry":
+        return registry_command(arguments)
     if arguments.command == "experiments":
         runner_args = ["--scale", arguments.scale, "--seed", str(arguments.seed),
                        "--protocol", arguments.protocol]

@@ -1,8 +1,11 @@
 """Core services: the paper's primary contribution (UMS, KTS) and the BRK baseline.
 
-The quickest way to get a working replicated DHT with current-replica
-retrieval is :func:`build_service_stack`, which wires a network, a replication
-scheme, KTS and UMS (plus the BRK baseline for comparisons) together:
+The caller-facing surface of the library lives one layer up, in
+:mod:`repro.api`: ``Cluster.build(...)`` wires a network, a replication
+scheme, KTS and a registered currency service together and hands out
+``Session`` handles.  This module keeps the historical
+:func:`build_service_stack` helper (now a thin wrapper over the cluster
+builder) for callers that want direct access to the service objects:
 
 >>> from repro.core import build_service_stack
 >>> stack = build_service_stack(num_peers=32, num_replicas=8, seed=42)
@@ -10,14 +13,19 @@ scheme, KTS and UMS (plus the BRK baseline for comparisons) together:
 InsertResult(...)
 >>> stack.ums.retrieve("meeting-room").is_current
 True
+
+``InsertResult``/``RetrieveResult`` are the shared result types of
+:mod:`repro.api.results`; the historical ``BricksInsertResult``/
+``BricksRetrieveResult`` names are deprecated aliases of the same types.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.api.results import Consistency, InsertResult, RetrieveResult
 from repro.core.analysis import (
     expected_probes,
     expected_retrievals,
@@ -28,7 +36,7 @@ from repro.core.analysis import (
     retrieval_bound,
 )
 from repro.core.audit import AuditReport, KeyAudit, ReplicaStatus, audit_key, audit_keys
-from repro.core.baseline import BricksInsertResult, BricksRetrieveResult, BricksService
+from repro.core.baseline import BricksService
 from repro.core.counters import KeyCounter, ValidCounterSet
 from repro.core.errors import (
     IncomparableTimestampsError,
@@ -39,8 +47,7 @@ from repro.core.errors import (
 from repro.core.kts import CounterInitialization, KeyBasedTimestampService, KtsStats
 from repro.core.replication import ReplicationScheme
 from repro.core.timestamps import Timestamp
-from repro.core.ums import InsertResult, RetrieveResult, UpdateManagementService
-from repro.dht.hashing import HashFamily
+from repro.core.ums import UpdateManagementService
 from repro.dht.network import DHTNetwork
 
 __all__ = [
@@ -48,6 +55,7 @@ __all__ = [
     "BricksInsertResult",
     "BricksRetrieveResult",
     "BricksService",
+    "Consistency",
     "CounterInitialization",
     "IncomparableTimestampsError",
     "InsertResult",
@@ -78,15 +86,44 @@ __all__ = [
 ]
 
 
+def __getattr__(name: str):
+    """Forward the deprecated BRK result-type aliases (with their warning).
+
+    The warning is emitted here (not delegated to :mod:`repro.core.baseline`)
+    so it is attributed to the caller's import site rather than to this
+    forwarding frame.
+    """
+    from repro.core import baseline
+
+    alias = baseline._DEPRECATED_ALIASES.get(name)
+    if alias is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import warnings
+
+    warnings.warn(
+        f"{name} is deprecated; BRK returns the shared repro.api.results."
+        f"{alias.__name__} type since the unified client API. The shared "
+        "type's field order differs from the legacy one — construct it with "
+        "keyword arguments",
+        DeprecationWarning, stacklevel=2)
+    return alias
+
+
 @dataclass
 class ServiceStack:
-    """A fully wired substrate: network + replication + KTS + UMS + BRK baseline."""
+    """A fully wired substrate: network + replication + KTS + UMS + BRK baseline.
+
+    ``cluster`` is the :class:`repro.api.Cluster` that owns the wiring; use it
+    to open :class:`repro.api.Session` handles or resolve further registered
+    services.
+    """
 
     network: DHTNetwork
     replication: ReplicationScheme
     kts: KeyBasedTimestampService
     ums: UpdateManagementService
     brk: BricksService
+    cluster: object = field(default=None, repr=False)
 
 
 def build_service_stack(num_peers: int = 64, *, num_replicas: int = 10,
@@ -98,24 +135,24 @@ def build_service_stack(num_peers: int = 64, *, num_replicas: int = 10,
                         seed: Optional[int] = None) -> ServiceStack:
     """Build a ready-to-use replicated DHT with UMS/KTS (and the BRK baseline).
 
-    Parameters mirror the paper's experimental knobs: the number of peers, the
-    replication factor ``|Hr|``, the overlay protocol and the KTS counter
-    initialisation mode.  A fixed ``seed`` makes the whole stack (hash
-    functions, peer identifiers, probe order) reproducible.
+    A thin wrapper over :meth:`repro.api.Cluster.build` (the single
+    construction path of the client API) kept for direct access to the
+    service objects.  Parameters mirror the paper's experimental knobs: the
+    number of peers, the replication factor ``|Hr|``, the overlay protocol
+    and the KTS counter initialisation mode.  A fixed ``seed`` makes the
+    whole stack (hash functions, peer identifiers, probe order) reproducible
+    — and reproduces the exact same stack as ``Cluster.build`` with the same
+    seed.
     """
-    master = random.Random(seed)
-    network = DHTNetwork.build(num_peers, protocol=protocol, bits=bits,
-                               stabilization_interval=stabilization_interval,
-                               seed=master.getrandbits(64),
-                               track_responsibility=track_responsibility)
-    family = HashFamily(bits=bits, seed=master.getrandbits(64))
-    replication = ReplicationScheme(family.sample_many(num_replicas, prefix="hr"))
-    kts = KeyBasedTimestampService(network, replication,
-                                   ts_hash=family.sample("h-ts"),
-                                   initialization=initialization,
-                                   seed=master.getrandbits(64))
-    ums = UpdateManagementService(network, kts, replication, probe_order=probe_order,
-                                  seed=master.getrandbits(64))
-    brk = BricksService(network, replication, seed=master.getrandbits(64))
-    return ServiceStack(network=network, replication=replication, kts=kts,
-                        ums=ums, brk=brk)
+    from repro.api.cluster import Cluster
+
+    cluster = Cluster.build(num_peers, protocol=protocol, service="ums",
+                            replicas=num_replicas, bits=bits,
+                            initialization=initialization,
+                            probe_order=probe_order,
+                            stabilization_interval=stabilization_interval,
+                            track_responsibility=track_responsibility,
+                            rng=random.Random(seed))
+    return ServiceStack(network=cluster.network, replication=cluster.replication,
+                        kts=cluster.kts, ums=cluster.service("ums"),
+                        brk=cluster.service("brk"), cluster=cluster)

@@ -11,7 +11,7 @@ the data.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.core.replication import ReplicationScheme
 from repro.dht.network import DHTNetwork

@@ -19,7 +19,7 @@ while ``last_known`` keeps the largest timestamp actually *observed* so that
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional
 
 __all__ = ["KeyCounter", "ValidCounterSet"]

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from repro.core.counters import KeyCounter, ValidCounterSet
 from repro.core.replication import ReplicationScheme
@@ -169,6 +169,76 @@ class KeyBasedTimestampService(NetworkObserver):
         if value is None:
             return None
         return Timestamp(key=key, value=value)
+
+    # ------------------------------------------------------------- batched ops
+    def gen_ts_many(self, keys: List[Any], *, origin: Optional[int] = None,
+                    trace: Optional[OperationTrace] = None) -> List[Timestamp]:
+        """Generate one timestamp per *occurrence* in ``keys``, amortising routing.
+
+        Keys whose responsible of timestamping coincide share a single routed
+        request/reply exchange (one TSR carrying every key), instead of one
+        lookup + TSR per key.  Semantically identical to calling
+        :meth:`gen_ts` once per list element — a key appearing twice receives
+        two distinct, increasing timestamps — only the message accounting is
+        amortised.  Returns the timestamps aligned with the input order.
+        """
+        grouped = self._grouped_by_responsible(keys)
+        out: List[Optional[Timestamp]] = [None] * len(keys)
+        for responsible, indices in grouped.items():
+            self._record_batched_exchange(keys[indices[0]], origin, trace,
+                                          MessageKind.TSR, MessageKind.TSR_REPLY)
+            for index in indices:
+                key = keys[index]
+                counter = self._counter_for(responsible, key, trace)
+                out[index] = Timestamp(key=key, value=counter.generate())
+                self.stats.timestamps_generated += 1
+                if not self.dht_is_rla:
+                    self.peer_state(responsible).vcs.remove(key)
+        return out
+
+    def last_ts_many(self, keys: List[Any], *, origin: Optional[int] = None,
+                     trace: Optional[OperationTrace] = None
+                     ) -> Dict[Any, Optional[Timestamp]]:
+        """Batched :meth:`last_ts`: one routed exchange per distinct responsible.
+
+        This is the KTS half of the ``retrieve_many`` amortisation: a batch of
+        N keys usually maps to far fewer than N responsibles of timestamping,
+        so the ``last_ts`` lookups collapse accordingly.
+        """
+        grouped = self._grouped_by_responsible(keys)
+        out: Dict[Any, Optional[Timestamp]] = {}
+        for responsible, indices in grouped.items():
+            self._record_batched_exchange(keys[indices[0]], origin, trace,
+                                          MessageKind.LAST_TS_REQUEST,
+                                          MessageKind.LAST_TS_REPLY)
+            for index in indices:
+                key = keys[index]
+                if key in out:
+                    continue
+                counter = self._counter_for(responsible, key, trace)
+                self.stats.last_ts_requests += 1
+                value = counter.last_generated()
+                out[key] = None if value is None else Timestamp(key=key, value=value)
+        return out
+
+    def _grouped_by_responsible(self, keys: List[Any]) -> Dict[int, List[int]]:
+        """Input indices grouped by the key's responsible of timestamping."""
+        grouped: Dict[int, List[int]] = {}
+        for index, key in enumerate(keys):
+            grouped.setdefault(self.responsible_of_timestamping(key), []).append(index)
+        return grouped
+
+    def _record_batched_exchange(self, representative_key: Any,
+                                 origin: Optional[int],
+                                 trace: Optional[OperationTrace],
+                                 request_kind: MessageKind,
+                                 reply_kind: MessageKind) -> None:
+        """Route once to the key's responsible and record one batched request/reply."""
+        lookup = self.network.lookup(representative_key, self.ts_hash,
+                                     origin=origin, trace=trace)
+        if trace is not None:
+            trace.record_request_reply(request_kind, reply_kind,
+                                       dest=lookup.responsible)
 
     def _locate_responsible(self, key: Any, origin: Optional[int],
                             trace: Optional[OperationTrace],

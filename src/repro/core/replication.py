@@ -64,6 +64,35 @@ class ReplicationScheme:
     def __getitem__(self, index: int) -> PairwiseIndependentHash:
         return self._hashes[index]
 
+    # ------------------------------------------------------------ batched ops
+    def replicated_requests(self, items: Sequence, stamps: Sequence) -> List[tuple]:
+        """Expand ``(key, data)`` items into per-replica write requests.
+
+        Lays the requests out item-major over ``Hr`` — the contract
+        :meth:`fold_batch_acceptance` relies on — with ``stamps[i]`` providing
+        the ``(timestamp, version)`` pair stamped on every replica of item
+        ``i``.  This is the single place that encodes the batched-write
+        request layout shared by the currency services.
+        """
+        requests: List[tuple] = []
+        for (key, data), (timestamp, version) in zip(items, stamps):
+            for hash_fn in self._hashes:
+                requests.append((key, hash_fn, data, timestamp, version))
+        return requests
+
+    def fold_batch_acceptance(self, accepted: Sequence[bool],
+                              item_count: int) -> List[int]:
+        """Per-item acceptance counts for a :meth:`replicated_requests` batch.
+
+        ``accepted`` is the flag list returned by ``DHTNetwork.put_many`` for
+        a request list built by :meth:`replicated_requests`; item ``i``'s
+        flags occupy the contiguous slice ``[i * factor, (i + 1) * factor)``.
+        """
+        factor = self.factor
+        return [sum(1 for stored in accepted[index * factor:(index + 1) * factor]
+                    if stored)
+                for index in range(item_count)]
+
     def shuffled(self, rng: random.Random) -> List[PairwiseIndependentHash]:
         """The hash functions in a random probe order.
 

@@ -18,7 +18,7 @@ simulation harness schedules the completion of the operation accordingly.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Tuple
 
 __all__ = ["Message", "MessageKind", "MessageSizes", "OperationTrace"]

@@ -16,8 +16,8 @@ This module provides:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 __all__ = [
     "DHTProtocol",

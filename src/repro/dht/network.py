@@ -23,7 +23,7 @@ Rule 3 of the Valid Counter Set) register a :class:`NetworkObserver`.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Union
 
 from repro.dht import registry
@@ -330,6 +330,104 @@ class DHTNetwork:
             trace.record_request_reply(MessageKind.GET_REQUEST, MessageKind.GET_REPLY,
                                        dest=responsible)
         return self._peers[responsible].store.get(hash_fn.name, key)
+
+    # ------------------------------------------------------------ batched ops
+    def _batched_exchanges(self, points: Sequence[int], origin: int,
+                           trace: Optional[OperationTrace],
+                           unreachable: FrozenSet[int],
+                           request_kind: MessageKind, reply_kind: MessageKind,
+                           *, data_on_request: bool):
+        """Shared skeleton of the batched operations.
+
+        Groups the request indices by the current responsible of their
+        ``points``, routes once per distinct responsible, records the batched
+        request/reply exchange (or a single timed-out request when the
+        responsible is unreachable) and yields ``(responsible, indices,
+        reachable)`` per group.  The data-bearing message — the request for
+        puts, the reply for gets — is sized per entry carried, so batching
+        saves round-trips and routing hops, never under-accounted bytes.
+        """
+        grouped: Dict[int, List[int]] = {}
+        for index, point in enumerate(points):
+            grouped.setdefault(self.protocol.responsible_for(point), []).append(index)
+        for responsible, indices in grouped.items():
+            route = self.protocol.route(origin, points[indices[0]], now=self.now)
+            if trace is not None:
+                trace.record_route(route.path, retries=route.retries,
+                                   timeouts=route.timeouts)
+            if responsible in unreachable:
+                if trace is not None:
+                    trace.record(request_kind, dest=responsible, timed_out=True)
+                yield responsible, indices, False
+                continue
+            if trace is not None:
+                batch_bytes = self.message_sizes.data_bytes * len(indices)
+                trace.record(request_kind, source=origin, dest=responsible,
+                             size_bytes=(batch_bytes if data_on_request else None))
+                trace.record(reply_kind, source=responsible, dest=origin,
+                             size_bytes=(None if data_on_request else batch_bytes))
+            yield responsible, indices, True
+
+    def get_many(self, requests: Sequence[tuple], *,
+                 origin: Optional[int] = None,
+                 trace: Optional[OperationTrace] = None,
+                 unreachable: FrozenSet[int] = frozenset()
+                 ) -> List[Optional[StoredValue]]:
+        """Batched ``get_h``: fetch several ``(key, hash_fn)`` replicas at once.
+
+        Requests destined for the same responsible peer are coalesced: the
+        origin routes *once* per distinct responsible and exchanges a single
+        (larger) request/reply pair carrying every entry held there, instead
+        of one lookup + request/reply per replica.  This is the message
+        amortisation behind ``retrieve_many``.
+
+        Returns one ``Optional[StoredValue]`` per request, in request order.
+        """
+        origin = self._resolve_origin(origin)
+        results: List[Optional[StoredValue]] = [None] * len(requests)
+        points = [hash_fn(key) for key, hash_fn in requests]
+        for responsible, indices, reachable in self._batched_exchanges(
+                points, origin, trace, unreachable,
+                MessageKind.GET_REQUEST, MessageKind.GET_REPLY,
+                data_on_request=False):
+            if not reachable:
+                continue
+            store = self._peers[responsible].store
+            for index in indices:
+                key, hash_fn = requests[index]
+                results[index] = store.get(hash_fn.name, key)
+        return results
+
+    def put_many(self, requests: Sequence[tuple], *,
+                 origin: Optional[int] = None,
+                 trace: Optional[OperationTrace] = None,
+                 unreachable: FrozenSet[int] = frozenset()) -> List[bool]:
+        """Batched ``put_h``: store several replicas at once.
+
+        Each request is ``(key, hash_fn, data, timestamp, version)``
+        (``timestamp``/``version`` may be ``None``).  Writes destined for the
+        same responsible peer share one routed request/ack exchange, the
+        request's payload size scaling with the entries it carries.  Returns
+        one acceptance flag per request, in request order.
+        """
+        origin = self._resolve_origin(origin)
+        results: List[bool] = [False] * len(requests)
+        points = [hash_fn(key) for key, hash_fn, _data, _timestamp, _version
+                  in requests]
+        for responsible, indices, reachable in self._batched_exchanges(
+                points, origin, trace, unreachable,
+                MessageKind.PUT_REQUEST, MessageKind.PUT_ACK,
+                data_on_request=True):
+            if not reachable:
+                continue
+            for index in indices:
+                key, hash_fn, data, timestamp, version = requests[index]
+                entry = StoredValue(key=key, data=data, timestamp=timestamp,
+                                    version=version, hash_name=hash_fn.name,
+                                    point=points[index], stored_at=self.now)
+                results[index] = self._store_entry(responsible, entry,
+                                                   record_responsibility=True)
+        return results
 
     # ----------------------------------------------------------------- storage
     def store_locally(self, peer_id: int, entry: StoredValue) -> bool:

@@ -10,7 +10,7 @@ one if it carries a strictly newer timestamp (respectively a newer version).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["LocalStore", "StoredValue"]

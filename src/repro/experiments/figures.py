@@ -15,8 +15,9 @@ All functions are deterministic for a given ``seed``.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.api.results import Consistency
 from repro.core import analysis
 from repro.dht.registry import overlay_names
 from repro.experiments.reporting import ExperimentTable
@@ -26,6 +27,7 @@ from repro.simulation.results import RunResult
 
 __all__ = [
     "SCALE_PROFILES",
+    "ablation_consistency",
     "ablation_overlay",
     "ablation_probe_order",
     "ablation_stabilization",
@@ -417,6 +419,41 @@ def ablation_stabilization(scale: str = "quick", *, seed: int = 2007,
         result = run_simulation(parameters)
         table.add_row(interval, {"response time (s)": result.avg_response_time_s,
                                  "messages": result.avg_messages})
+    return table
+
+
+def ablation_consistency(scale: str = "quick", *, seed: int = 2007,
+                         protocol: str = "chord") -> ExperimentTable:
+    """Ablation: the per-retrieve consistency levels of the client API.
+
+    Runs the identical UMS-Direct workload with the queries issued at each
+    :class:`~repro.api.results.Consistency` level.  ``current`` pays the KTS
+    lookup and probes until the certificate; ``any`` reads the first replica
+    found (cheapest, never certified); ``best-effort`` bounds the probes.
+    """
+    profile = _profile(scale)
+    table = ExperimentTable(
+        experiment_id=_experiment_id("ablation-consistency", protocol),
+        title=f"Retrieve consistency-level ablation ({protocol})",
+        x_label="consistency",
+        series=["response time (s)", "messages", "replicas inspected",
+                "certified current"],
+        notes="UMS-Direct; 'current' is the paper's Figure 2 retrieval, 'any' a "
+              "first-replica read without the KTS lookup, 'best-effort' a "
+              "bounded-probe read returning the freshest replica found.")
+    for level in Consistency.ALL:
+        parameters = SimulationParameters.table1(
+            num_peers=int(profile["base_peers"]), algorithm=Algorithm.UMS_DIRECT,
+            consistency=level, seed=seed, protocol=protocol,
+            num_keys=int(profile["num_keys"]),
+            duration_s=float(profile["duration_s"]),
+            num_queries=int(profile["num_queries"]),
+            churn_rate_per_s=_churn_rate(profile, int(profile["base_peers"])))
+        result = run_simulation(parameters)
+        table.add_row(level, {"response time (s)": result.avg_response_time_s,
+                              "messages": result.avg_messages,
+                              "replicas inspected": result.avg_replicas_inspected,
+                              "certified current": result.currency_rate})
     return table
 
 

@@ -9,7 +9,7 @@ the table itself.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.experiments.reporting import ExperimentTable
 

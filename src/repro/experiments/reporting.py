@@ -9,7 +9,7 @@ per algorithm/series, and one row per x value.  Tables render to plain text
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List
 
 __all__ = ["ExperimentTable"]
 

@@ -55,6 +55,7 @@ def run_all_experiments(scale: str = "quick", *, seed: int = 2007,
         tables.append(figures.ablation_probe_order(scale, seed=seed, protocol=protocol))
         tables.append(figures.ablation_stabilization(scale, seed=seed))
         tables.append(figures.ablation_overlay(scale, seed=seed))
+        tables.append(figures.ablation_consistency(scale, seed=seed, protocol=protocol))
     return tables
 
 

@@ -14,6 +14,7 @@ import random
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.api.results import Consistency
 from repro.dht.registry import is_registered, overlay_names
 from repro.sim.cost import NetworkCostModel
 
@@ -21,7 +22,14 @@ __all__ = ["Algorithm", "SimulationParameters"]
 
 
 class Algorithm:
-    """The three algorithms compared in Section 5."""
+    """The three algorithms compared in Section 5.
+
+    An *algorithm* is a currency service (resolved by name through the
+    :mod:`repro.api.services` registry) plus its configuration: the two UMS
+    variants differ only in the KTS counter-initialisation mode.  The harness
+    resolves every algorithm through :meth:`service_name` /
+    :meth:`initialization` instead of branching on the constants.
+    """
 
     UMS_DIRECT = "ums-direct"
     UMS_INDIRECT = "ums-indirect"
@@ -36,6 +44,13 @@ class Algorithm:
         UMS_DIRECT: "UMS-Direct",
     }
 
+    #: The registered currency service each algorithm resolves to.
+    SERVICES = {
+        BRK: "brk",
+        UMS_INDIRECT: "ums",
+        UMS_DIRECT: "ums",
+    }
+
     @classmethod
     def validate(cls, algorithm: str) -> str:
         if algorithm not in cls.ALL:
@@ -45,6 +60,22 @@ class Algorithm:
     @classmethod
     def label(cls, algorithm: str) -> str:
         return cls.LABELS[cls.validate(algorithm)]
+
+    @classmethod
+    def service_name(cls, algorithm: str) -> str:
+        """The :mod:`repro.api.services` registry name backing ``algorithm``."""
+        return cls.SERVICES[cls.validate(algorithm)]
+
+    @classmethod
+    def initialization(cls, algorithm: str) -> str:
+        """The KTS counter-initialisation mode implied by ``algorithm``."""
+        # Imported lazily: repro.core imports repro.api.results, which this
+        # module also uses; keep the config layer import-light.
+        from repro.core.kts import CounterInitialization
+
+        if cls.validate(algorithm) == cls.UMS_INDIRECT:
+            return CounterInitialization.INDIRECT
+        return CounterInitialization.DIRECT
 
 
 @dataclass
@@ -87,6 +118,10 @@ class SimulationParameters:
 
     # --- algorithm ----------------------------------------------------------
     algorithm: str = Algorithm.UMS_DIRECT
+    #: Per-retrieve consistency level used for the measured queries
+    #: (``current`` is the paper's Figure 2 retrieval; ``any`` and
+    #: ``best-effort`` trade freshness for messages).
+    consistency: str = Consistency.CURRENT
     probe_order: str = "random"
     stabilization_interval_s: float = 30.0
     #: Interval (simulated seconds) of the periodic-inspection repair strategy
@@ -104,6 +139,7 @@ class SimulationParameters:
 
     def __post_init__(self) -> None:
         Algorithm.validate(self.algorithm)
+        Consistency.validate(self.consistency)
         if not is_registered(self.protocol):
             raise ValueError(f"unknown protocol {self.protocol!r}; registered "
                              f"overlays: {overlay_names()}")

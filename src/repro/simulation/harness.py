@@ -2,30 +2,33 @@
 
 A run proceeds exactly as described in Section 5.1:
 
-1. build a network of ``num_peers`` peers and the replication scheme ``Hr``;
+1. build a cluster of ``num_peers`` peers through the client API
+   (:meth:`repro.api.Cluster.build` — overlay and currency service both
+   resolved through their registries);
 2. insert the initial version of every data item;
 3. start the churn process (Poisson departures, 5 % failures, compensated by
    joins) and the per-key Poisson update workload;
 4. issue ``num_queries`` retrieve operations at uniformly distributed times
-   and record, for each, the response time (via the network cost model) and
-   the number of messages;
+   through a :class:`repro.api.Session` and record, for each, the response
+   time (via the network cost model) and the number of messages;
 5. report the averages.
 
-The same harness runs UMS-Direct, UMS-Indirect and BRK so that the three
-algorithms face identical workloads (and, with the same seed, identical churn
-and update schedules).
+The same harness runs UMS-Direct, UMS-Indirect and BRK — and any currency
+service registered in :mod:`repro.api.services` — so the algorithms face
+identical workloads (and, with the same seed, identical churn and update
+schedules).  Because every service returns the shared result types, no
+per-algorithm normalisation is needed anywhere.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
-from repro.core.baseline import BricksService
-from repro.core.kts import CounterInitialization, KeyBasedTimestampService
+from repro.api.cluster import Cluster, Session
+from repro.api.results import RetrieveResult
+from repro.core.kts import KeyBasedTimestampService
 from repro.core.replication import ReplicationScheme
-from repro.core.ums import UpdateManagementService
-from repro.dht.hashing import HashFamily
 from repro.dht.network import DHTNetwork
 from repro.sim.cost import NetworkCostModel
 from repro.sim.engine import Simulator
@@ -38,27 +41,17 @@ from repro.simulation.workload import QuerySchedule, UpdateWorkload, default_key
 __all__ = ["SimulationHarness", "run_simulation"]
 
 
-class _RetrieveOutcome:
-    """Normalised view over UMS and BRK retrieve results."""
-
-    def __init__(self, trace, replicas_inspected: int, found: bool, is_current: bool) -> None:
-        self.trace = trace
-        self.replicas_inspected = replicas_inspected
-        self.found = found
-        self.is_current = is_current
-
-
 class SimulationHarness:
     """Builds and runs one simulation described by :class:`SimulationParameters`."""
 
     def __init__(self, parameters: SimulationParameters) -> None:
         self.parameters = parameters
         self._master_rng = random.Random(parameters.seed)
+        self.cluster: Optional[Cluster] = None
+        self.session: Optional[Session] = None
         self.network: Optional[DHTNetwork] = None
         self.replication: Optional[ReplicationScheme] = None
         self.kts: Optional[KeyBasedTimestampService] = None
-        self.ums: Optional[UpdateManagementService] = None
-        self.brk: Optional[BricksService] = None
         self.cost_model: Optional[NetworkCostModel] = None
         self.sim: Optional[Simulator] = None
         self.churn: Optional[ChurnProcess] = None
@@ -69,26 +62,22 @@ class SimulationHarness:
 
     # ------------------------------------------------------------------- setup
     def setup(self) -> None:
-        """Build the network, the services and the initial data population."""
+        """Build the cluster, the session and the initial data population."""
         parameters = self.parameters
-        self.network = DHTNetwork.build(
-            parameters.num_peers, protocol=parameters.protocol, bits=parameters.bits,
+        self.cluster = Cluster.build(
+            parameters.num_peers, protocol=parameters.protocol,
+            service=Algorithm.service_name(parameters.algorithm),
+            replicas=parameters.num_replicas, bits=parameters.bits,
+            initialization=Algorithm.initialization(parameters.algorithm),
+            probe_order=parameters.probe_order,
             stabilization_interval=parameters.stabilization_interval_s,
-            seed=self._master_rng.getrandbits(64))
-        family = HashFamily(bits=parameters.bits, seed=self._master_rng.getrandbits(64))
-        self.replication = ReplicationScheme(
-            family.sample_many(parameters.num_replicas, prefix="hr"))
-        initialization = (CounterInitialization.INDIRECT
-                          if parameters.algorithm == Algorithm.UMS_INDIRECT
-                          else CounterInitialization.DIRECT)
-        self.kts = KeyBasedTimestampService(
-            self.network, self.replication, ts_hash=family.sample("h-ts"),
-            initialization=initialization, seed=self._master_rng.getrandbits(64))
-        self.ums = UpdateManagementService(
-            self.network, self.kts, self.replication, probe_order=parameters.probe_order,
-            seed=self._master_rng.getrandbits(64))
-        self.brk = BricksService(self.network, self.replication,
-                                 seed=self._master_rng.getrandbits(64))
+            rng=self._master_rng)
+        self.network = self.cluster.network
+        self.replication = self.cluster.replication
+        self.kts = self.cluster.kts
+        # A floating session: every operation starts at a fresh random origin,
+        # matching the paper's query model.
+        self.session = self.cluster.session(consistency=parameters.consistency)
         self.cost_model = parameters.build_cost_model(
             rng=random.Random(self._master_rng.getrandbits(64)))
         self.keys = default_keys(parameters.num_keys)
@@ -101,28 +90,28 @@ class SimulationHarness:
                                  parameters=parameters.describe())
         self._is_setup = True
 
+    # ------------------------------------------------- legacy service handles
+    @property
+    def ums(self):
+        """The UMS instance of the cluster (shared placement with the baseline)."""
+        return self.cluster.service("ums") if self.cluster is not None else None
+
+    @property
+    def brk(self):
+        """The BRK baseline instance of the cluster."""
+        return self.cluster.service("brk") if self.cluster is not None else None
+
     # --------------------------------------------------------------- operations
     def _insert(self, key: str) -> None:
-        """Write the next version of ``key`` with the configured algorithm."""
+        """Write the next version of ``key`` through the session."""
         sequence = self._update_sequence[key]
         payload = payload_for(key, sequence)
         self._update_sequence[key] = sequence + 1
-        if self.parameters.algorithm == Algorithm.BRK:
-            self.brk.insert(key, payload)
-        else:
-            self.ums.insert(key, payload)
+        self.session.insert(key, payload)
 
-    def _retrieve(self, key: str) -> _RetrieveOutcome:
-        """Read ``key`` with the configured algorithm, normalising the outcome."""
-        if self.parameters.algorithm == Algorithm.BRK:
-            outcome = self.brk.retrieve(key)
-            # BRK cannot certify that the returned replica is current, which is
-            # precisely the paper's point; report is_current=False.
-            return _RetrieveOutcome(outcome.trace, outcome.replicas_inspected,
-                                    outcome.found, is_current=False)
-        outcome = self.ums.retrieve(key)
-        return _RetrieveOutcome(outcome.trace, outcome.replicas_inspected,
-                                outcome.found, outcome.is_current)
+    def _retrieve(self, key: str) -> RetrieveResult:
+        """Read ``key`` through the session (shared result type, no normalising)."""
+        return self.session.retrieve(key)
 
     # --------------------------------------------------------------------- run
     def run(self) -> RunResult:
@@ -185,7 +174,8 @@ class SimulationHarness:
         while True:
             yield self.sim.timeout(interval_s)
             self.network.now = self.sim.now
-            probabilities = [self.ums.currency_probability(key) for key in self.keys]
+            probabilities = [self.cluster.currency_probability(key)
+                             for key in self.keys]
             self._result.currency_series.record(
                 self.sim.now, sum(probabilities) / len(probabilities))
 

@@ -1,0 +1,129 @@
+"""Regression suite: message accounting is comparable across services.
+
+Audit (summary).  Both services route every replica probe through
+``DHTNetwork.get``, which records the lookup hops plus exactly one
+GET request/reply pair — so the *per-probe* cost is identical between
+``UpdateManagementService.retrieve`` and ``BricksService.retrieve``; what
+differs is only what the algorithms do (UMS adds one KTS ``last_ts`` exchange
+and stops early, BRK fetches every replica).  The historical divergence was
+at the result surface: BRK had its own copy of ``message_count`` on separate
+result types (free to drift from the UMS one), and insert results had no
+``message_count`` at all.  With the shared result types both services expose
+the same accounting, and this suite pins the invariants so the costs reported
+by the harness and figures stay comparable:
+
+* one GET request/reply pair per inspected replica, for both services;
+* an unreachable replica holder costs one timed-out request (no reply), for
+  both services;
+* UMS's retrieval decomposes exactly into the KTS exchange plus the probes;
+  at ``Consistency.ANY`` the two services are message-for-message identical;
+* ``message_count`` equals the trace length on every result of both services.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Cluster, Consistency
+from repro.dht.messages import MessageKind
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.build(peers=48, replicas=8, seed=3)
+
+
+@pytest.fixture
+def services(cluster):
+    ums, brk = cluster.service("ums"), cluster.service("brk")
+    ums.insert("k-ums", "v")
+    brk.insert("k-brk", "v")
+    return ums, brk
+
+
+class TestPerProbeParity:
+    def test_one_get_pair_per_inspected_replica_for_both_services(self, services):
+        for service, key in zip(services, ("k-ums", "k-brk")):
+            result = service.retrieve(key)
+            kinds = result.trace.count_by_kind()
+            assert kinds[MessageKind.GET_REQUEST] == result.replicas_inspected
+            assert kinds[MessageKind.GET_REPLY] == result.replicas_inspected
+
+    def test_any_level_is_message_for_message_identical(self, services):
+        ums, brk = services
+        ums_kinds = ums.retrieve("k-ums",
+                                 consistency=Consistency.ANY).trace.count_by_kind()
+        brk_kinds = brk.retrieve("k-brk",
+                                 consistency=Consistency.ANY).trace.count_by_kind()
+        # Same shape: one routed probe, one GET pair, nothing else.
+        assert set(ums_kinds) == set(brk_kinds)
+        assert ums_kinds[MessageKind.GET_REQUEST] == \
+            brk_kinds[MessageKind.GET_REQUEST] == 1
+        assert ums_kinds[MessageKind.GET_REPLY] == \
+            brk_kinds[MessageKind.GET_REPLY] == 1
+
+    def test_ums_retrieve_decomposes_into_kts_plus_probes(self, services):
+        ums, _brk = services
+        result = ums.retrieve("k-ums")
+        kinds = result.trace.count_by_kind()
+        # Exactly one KTS exchange...
+        assert kinds[MessageKind.LAST_TS_REQUEST] == 1
+        assert kinds[MessageKind.LAST_TS_REPLY] == 1
+        # ... and nothing beyond routing, the KTS pair and the probe pairs.
+        accounted = (kinds.get(MessageKind.LOOKUP_HOP, 0)
+                     + kinds.get(MessageKind.LOOKUP_RETRY, 0)
+                     + 2  # the KTS request/reply
+                     + 2 * result.replicas_inspected)
+        assert result.message_count == accounted
+
+    def test_brk_retrieve_is_probes_only(self, services):
+        _ums, brk = services
+        result = brk.retrieve("k-brk")
+        kinds = result.trace.count_by_kind()
+        assert MessageKind.LAST_TS_REQUEST not in kinds
+        assert MessageKind.TSR not in kinds
+        accounted = (kinds.get(MessageKind.LOOKUP_HOP, 0)
+                     + kinds.get(MessageKind.LOOKUP_RETRY, 0)
+                     + 2 * result.replicas_inspected)
+        assert result.message_count == accounted
+
+
+class TestUnreachableParity:
+    def test_unreachable_probe_costs_one_timed_out_request_for_both(self, cluster,
+                                                                    services):
+        ums, brk = services
+        for service, key in ((ums, "k-ums"), (brk, "k-brk")):
+            holders = frozenset(cluster.network.responsible_peer(key, h)
+                                for h in cluster.replication)
+            result = service.retrieve(key, unreachable=holders)
+            kinds = result.trace.count_by_kind()
+            # Every probe timed out: requests recorded, no replies at all.
+            assert result.trace.timeout_count == result.replicas_inspected
+            assert MessageKind.GET_REPLY not in kinds
+            assert not result.found
+
+
+class TestResultSurfaceParity:
+    def test_message_count_equals_trace_length_everywhere(self, cluster):
+        for name in ("ums", "brk"):
+            with cluster.session(service=name) as session:
+                insert = session.insert(f"parity-{name}", "v")
+                retrieve = session.retrieve(f"parity-{name}")
+                batch = session.retrieve_many([f"parity-{name}"])
+            for result in (insert, retrieve, batch):
+                assert result.message_count == len(result.trace.messages)
+
+    def test_insert_results_expose_message_count_for_both_services(self, cluster):
+        with cluster.session() as session:
+            ums_insert = session.insert("a", "v")
+        with cluster.session(service="brk") as session:
+            brk_insert = session.insert("b", "v")
+        assert ums_insert.message_count > 0
+        assert brk_insert.message_count > 0
+
+    def test_shared_result_types_across_services(self, cluster):
+        with cluster.session() as session:
+            ums_result = session.retrieve("whatever")
+        with cluster.session(service="brk") as session:
+            brk_result = session.retrieve("whatever")
+        assert type(ums_result) is type(brk_result)

@@ -1,0 +1,151 @@
+"""Tests of the Cluster builder and Session handles (repro.api.cluster)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import Cluster, Consistency
+from repro.core import CounterInitialization, build_service_stack
+
+
+class TestClusterBuild:
+    def test_build_wires_the_whole_stack(self):
+        cluster = Cluster.build(peers=24, replicas=5, seed=11)
+        assert cluster.size == 24
+        assert cluster.replication.factor == 5
+        assert cluster.kts.network is cluster.network
+        assert cluster.service_name == "ums"
+
+    def test_unknown_service_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown service"):
+            Cluster.build(peers=8, service="paxos", seed=1)
+
+    def test_unknown_protocol_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            Cluster.build(peers=8, protocol="pastry", seed=1)
+
+    def test_seed_and_rng_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            Cluster.build(peers=8, seed=1, rng=random.Random(1))
+
+    def test_initialization_mode_is_honoured(self):
+        cluster = Cluster.build(peers=8, seed=1,
+                                initialization=CounterInitialization.INDIRECT)
+        assert cluster.kts.initialization == CounterInitialization.INDIRECT
+
+    def test_probe_order_reaches_the_ums_service(self):
+        cluster = Cluster.build(peers=8, seed=1, probe_order="fixed")
+        assert cluster.service("ums").probe_order == "fixed"
+
+    def test_invalid_probe_order_fails_at_build_time(self):
+        # Regression: the error must surface at build time (not at first
+        # session), and even when the primary service never constructs UMS.
+        with pytest.raises(ValueError, match="probe_order"):
+            Cluster.build(peers=8, seed=1, service="brk",
+                          probe_order="alphabetical")
+
+    def test_same_seed_reproduces_the_legacy_stack(self):
+        """Cluster.build and build_service_stack draw the same random stream."""
+        cluster = Cluster.build(peers=16, replicas=4, seed=99)
+        stack = build_service_stack(num_peers=16, num_replicas=4, seed=99)
+        assert cluster.network.alive_peer_ids() == stack.network.alive_peer_ids()
+        assert [h.name for h in cluster.replication] == \
+            [h.name for h in stack.replication]
+        assert cluster.kts.ts_hash.name == stack.kts.ts_hash.name
+        key_hash = cluster.replication[0]
+        assert cluster.network.responsible_peer("k", key_hash) == \
+            stack.network.responsible_peer("k", stack.replication[0])
+
+    def test_services_are_cached_and_share_the_substrate(self):
+        cluster = Cluster.build(peers=16, seed=2)
+        assert cluster.service("ums") is cluster.service("ums")
+        assert cluster.service() is cluster.service("ums")
+        assert cluster.service("brk").network is cluster.service("ums").network
+
+    def test_every_overlay_builds(self):
+        from repro.dht.registry import overlay_names
+
+        for protocol in overlay_names():
+            cluster = Cluster.build(peers=12, replicas=3, protocol=protocol,
+                                    seed=7)
+            with cluster.session() as session:
+                session.insert("k", {"overlay": protocol})
+                assert session.retrieve("k").data == {"overlay": protocol}
+
+
+class TestSession:
+    @pytest.fixture
+    def cluster(self):
+        return Cluster.build(peers=32, replicas=6, seed=13)
+
+    def test_context_manager_round_trip(self, cluster):
+        with cluster.session() as session:
+            session.insert("k", "v")
+            result = session.retrieve("k")
+        assert result.data == "v"
+        assert result.is_current
+        assert session.closed
+
+    def test_closed_session_rejects_operations(self, cluster):
+        session = cluster.session()
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.retrieve("k")
+        with pytest.raises(RuntimeError, match="closed"):
+            session.insert("k", "v")
+
+    def test_session_tallies_operations_and_messages(self, cluster):
+        with cluster.session() as session:
+            first = session.insert("k", "v")
+            second = session.retrieve("k")
+            assert session.operations == 2
+            assert session.messages_sent == (first.message_count
+                                             + second.message_count)
+
+    def test_origin_bound_session_uses_the_origin(self, cluster):
+        origin = cluster.network.alive_peer_ids()[0]
+        with cluster.session(origin) as session:
+            session.insert("k", "v")
+            result = session.retrieve("k")
+        assert result.found
+        # Every routed lookup starts at the bound origin, so whenever hops
+        # were recorded at all, some of them leave from the origin.
+        hop_sources = {m.source for m in result.trace
+                       if m.kind.value == "lookup-hop"}
+        assert not hop_sources or origin in hop_sources
+
+    def test_dead_origin_is_rejected_at_session_open(self, cluster):
+        dead = cluster.network.random_alive_peer()
+        cluster.network.leave_peer(dead)
+        cluster.network.join_peer()
+        with pytest.raises(ValueError, match="not a live member"):
+            cluster.session(dead)
+
+    def test_session_level_consistency_is_the_default(self, cluster):
+        with cluster.session(consistency=Consistency.ANY) as session:
+            session.insert("k", "v")
+            result = session.retrieve("k")
+            assert result.consistency == Consistency.ANY
+            # An explicit per-call level overrides the session default.
+            result = session.retrieve("k", consistency=Consistency.CURRENT)
+            assert result.consistency == Consistency.CURRENT
+            assert result.is_current
+
+    def test_invalid_session_consistency_is_rejected(self, cluster):
+        with pytest.raises(ValueError, match="consistency"):
+            cluster.session(consistency="linearizable")
+
+    def test_non_primary_service_session(self, cluster):
+        with cluster.session(service="brk") as session:
+            insert = session.insert("k", "v")
+            assert insert.version == 1
+            result = session.retrieve("k")
+            assert result.data == "v"
+            assert not result.is_current  # BRK can never certify
+
+    def test_currency_probability_delegates_to_ums(self, cluster):
+        with cluster.session() as session:
+            session.insert("k", "v")
+        assert cluster.currency_probability("k") == pytest.approx(1.0)

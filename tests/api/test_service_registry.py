@@ -1,0 +1,112 @@
+"""Tests of the currency-service registry (repro.api.services)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Cluster
+from repro.api.services import (
+    CurrencyService,
+    create_service,
+    is_service_registered,
+    register_service,
+    service_names,
+    unregister_service,
+)
+from repro.core import build_service_stack
+from repro.core.baseline import BricksService
+from repro.core.ums import UpdateManagementService
+
+
+class TestBuiltinRegistrations:
+    def test_ums_and_brk_ship_registered(self):
+        assert set(service_names()) >= {"ums", "brk"}
+
+    def test_is_service_registered_is_case_insensitive(self):
+        assert is_service_registered("UMS")
+        assert is_service_registered("Brk")
+        assert not is_service_registered("paxos")
+
+    def test_create_service_builds_the_right_types(self, small_stack):
+        ums = create_service("ums", network=small_stack.network,
+                             replication=small_stack.replication,
+                             kts=small_stack.kts, seed=1)
+        brk = create_service("brk", network=small_stack.network,
+                             replication=small_stack.replication, seed=1)
+        assert isinstance(ums, UpdateManagementService)
+        assert isinstance(brk, BricksService)
+
+    def test_both_builtins_satisfy_the_protocol(self, small_stack):
+        assert isinstance(small_stack.ums, CurrencyService)
+        assert isinstance(small_stack.brk, CurrencyService)
+
+    def test_ums_requires_a_kts(self, small_stack):
+        with pytest.raises(ValueError, match="KTS"):
+            create_service("ums", network=small_stack.network,
+                           replication=small_stack.replication, kts=None)
+
+    def test_unknown_service_lists_the_registered_names(self, small_stack):
+        with pytest.raises(ValueError, match="'ums'"):
+            create_service("paxos", network=small_stack.network,
+                           replication=small_stack.replication)
+
+
+class TestRuntimeRegistration:
+    def test_register_resolve_unregister_round_trip(self, small_stack):
+        def build_alias(*, network, replication, kts, rng, **extra):
+            return UpdateManagementService(network, kts, replication, rng=rng)
+
+        register_service("ums-alias", build_alias)
+        try:
+            assert "ums-alias" in service_names()
+            service = create_service("ums-alias", network=small_stack.network,
+                                     replication=small_stack.replication,
+                                     kts=small_stack.kts, seed=5)
+            service.insert("k", "v")
+            assert service.retrieve("k").data == "v"
+        finally:
+            unregister_service("ums-alias")
+        assert not is_service_registered("ums-alias")
+
+    def test_registered_service_resolves_through_cluster_build(self):
+        def build_alias(*, network, replication, kts, rng, **extra):
+            return UpdateManagementService(network, kts, replication, rng=rng)
+
+        register_service("ums-alias", build_alias)
+        try:
+            cluster = Cluster.build(peers=24, replicas=4, service="ums-alias",
+                                    seed=9)
+            with cluster.session() as session:
+                session.insert("k", "v")
+                assert session.retrieve("k").is_current
+        finally:
+            unregister_service("ums-alias")
+
+    def test_duplicate_registration_is_rejected_without_replace(self):
+        def factory(**kwargs):  # pragma: no cover - never built
+            raise AssertionError
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_service("ums", factory)
+        # replace=True is the explicit escape hatch; restore the original after.
+        from repro.api.services import _build_ums
+
+        register_service("ums", _build_ums, replace=True)
+
+    def test_empty_name_is_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            register_service("", lambda **kwargs: None)
+
+    def test_unregistering_an_unknown_name_fails(self):
+        with pytest.raises(ValueError, match="not registered"):
+            unregister_service("paxos")
+
+
+class TestSharedStack:
+    def test_build_service_stack_services_share_the_substrate(self):
+        stack = build_service_stack(num_peers=24, num_replicas=4, seed=3)
+        assert stack.ums.network is stack.brk.network
+        assert stack.ums.replication is stack.brk.replication
+        assert stack.cluster is not None
+        assert stack.cluster.service("ums") is stack.ums
+        assert stack.cluster.service("brk") is stack.brk

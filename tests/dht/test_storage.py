@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.timestamps import Timestamp
 from repro.dht.storage import LocalStore, StoredValue
 

@@ -4,8 +4,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
-
 from repro.core import CounterInitialization, build_service_stack
 from repro.sim.cost import NetworkCostModel
 

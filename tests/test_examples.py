@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import importlib.util
 import pathlib
-import sys
 
 import pytest
 
@@ -12,6 +11,7 @@ EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
 FAST_EXAMPLES = [
     "quickstart.py",
+    "batched_operations.py",
     "overlay_selection.py",
     "agenda_sharing.py",
     "cooperative_auction.py",

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 import repro
 from repro.core import errors as core_errors
 from repro.dht import errors as dht_errors
@@ -11,7 +9,7 @@ from repro.dht import errors as dht_errors
 
 class TestTopLevelExports:
     def test_version_is_exposed(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_all_names_resolve(self):
         for name in repro.__all__:
