@@ -125,6 +125,11 @@ class CanSpace(DHTProtocol):
         self._rng = rng if rng is not None else random.Random(0)
         self._zones: Dict[int, List[Zone]] = {}
         self._departed: Dict[int, Tuple[str, float]] = {}
+        self._init_version_caches()
+        self._neighbors_cache: Dict[int, Set[int]] = {}
+
+    def _clear_version_caches(self) -> None:
+        self._neighbors_cache.clear()
 
     # ------------------------------------------------------------------ helpers
     @property
@@ -148,7 +153,7 @@ class CanSpace(DHTProtocol):
 
     # ------------------------------------------------------------------ topology
     def nodes(self) -> Sequence[int]:
-        return tuple(sorted(self._zones))
+        return self._cached_nodes(lambda: tuple(sorted(self._zones)))
 
     def __contains__(self, node_id: int) -> bool:
         return node_id in self._zones
@@ -175,6 +180,7 @@ class CanSpace(DHTProtocol):
         self._departed.pop(node_id, None)
         if not self._zones:
             self._zones[node_id] = [self._whole_space()]
+            self._membership_changed()
             return set()
         # The newcomer picks a random point; the owner of the zone containing
         # that point splits it in half and keeps one half.
@@ -195,6 +201,7 @@ class CanSpace(DHTProtocol):
             newcomer_zone, owner_zone = second, first
         self._zones[owner].append(owner_zone)
         self._zones[node_id] = [newcomer_zone]
+        self._membership_changed()
         return {owner}
 
     def remove_node(self, node_id: int, *, reason: str = DepartureReason.LEAVE,
@@ -203,6 +210,7 @@ class CanSpace(DHTProtocol):
             raise NoSuchPeerError(node_id)
         abandoned = self._zones.pop(node_id)
         self._departed[node_id] = (reason, now)
+        self._membership_changed()
         if not self._zones:
             return
         for zone in abandoned:
@@ -242,7 +250,10 @@ class CanSpace(DHTProtocol):
     def responsible_for(self, point: int) -> int:
         if not self._zones:
             raise EmptyNetworkError("the CAN space has no live nodes")
-        return self._owner_of(self.coordinates(point))
+        # The zone scan is O(peers); memoise per membership version so hot
+        # points resolve in a dictionary hit.
+        return self._memoised_responsible(
+            point, lambda p: self._owner_of(self.coordinates(p)))
 
     def next_responsible(self, point: int) -> Optional[int]:
         if len(self._zones) < 2:
@@ -259,6 +270,12 @@ class CanSpace(DHTProtocol):
     def neighbors(self, node_id: int) -> Set[int]:
         if node_id not in self._zones:
             raise NoSuchPeerError(node_id)
+        # The all-pairs zone adjacency test is the most expensive query on the
+        # overlay and routing asks it once per hop; snapshots are memoised per
+        # membership version (zone boundaries only move on churn).
+        cached = self._neighbors_cache.get(node_id)
+        if cached is not None:
+            return set(cached)
         own_zones = self._zones[node_id]
         neighbor_set: Set[int] = set()
         for other, zones in self._zones.items():
@@ -268,7 +285,8 @@ class CanSpace(DHTProtocol):
                 if any(zone.touches(own) for own in own_zones):
                     neighbor_set.add(other)
                     break
-        return neighbor_set
+        self._neighbors_cache[node_id] = neighbor_set
+        return set(neighbor_set)
 
     def departure_reason(self, node_id: int) -> Optional[str]:
         """How a departed node left (``"leave"``/``"fail"``), if known."""

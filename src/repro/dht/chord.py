@@ -38,10 +38,17 @@ __all__ = ["ChordRing"]
 
 @dataclass
 class _FingerTable:
-    """Snapshot of a node's fingers plus the time it was last refreshed."""
+    """Snapshot of a node's fingers plus the time it was last refreshed.
+
+    ``version`` is the membership version the entries were computed at: a
+    refresh with an unchanged membership would recompute identical entries, so
+    stabilisation only pays the O(bits·log n) finger scan when the ring
+    actually changed since the snapshot.
+    """
 
     entries: List[int]
     refreshed_at: float
+    version: int = 0
 
 
 class ChordRing(DHTProtocol):
@@ -74,6 +81,11 @@ class ChordRing(DHTProtocol):
         self._member_set: Set[int] = set()
         self._departed: Dict[int, Tuple[str, float]] = {}
         self._fingers: Dict[int, _FingerTable] = {}
+        self._init_version_caches()
+        self._current_fingers: Dict[int, List[int]] = {}
+
+    def _clear_version_caches(self) -> None:
+        self._current_fingers.clear()
 
     # ------------------------------------------------------------------ sizing
     @property
@@ -82,7 +94,7 @@ class ChordRing(DHTProtocol):
         return 1 << self.bits
 
     def nodes(self) -> Sequence[int]:
-        return tuple(self._members)
+        return self._cached_nodes(lambda: tuple(self._members))
 
     def __contains__(self, node_id: int) -> bool:
         return node_id in self._member_set
@@ -100,6 +112,7 @@ class ChordRing(DHTProtocol):
         bisect.insort(self._members, node_id)
         self._member_set.add(node_id)
         self._departed.pop(node_id, None)
+        self._membership_changed()
         # The only node that can lose responsibility to the newcomer is its
         # successor: keys in (predecessor(new), new] move from it to the new
         # node (Section 4.2.1, the Chord join argument).
@@ -116,6 +129,7 @@ class ChordRing(DHTProtocol):
         self._member_set.discard(node_id)
         self._fingers.pop(node_id, None)
         self._departed[node_id] = (reason, now)
+        self._membership_changed()
 
     def departure_reason(self, node_id: int) -> Optional[str]:
         """How a departed node left (``"leave"``/``"fail"``), if known."""
@@ -141,7 +155,23 @@ class ChordRing(DHTProtocol):
         return self._members[index - 1] if index > 0 else self._members[-1]
 
     def responsible_for(self, point: int) -> int:
-        return self.successor(point)
+        # Memoised per membership version (the successor of a point only
+        # changes when the ring does).
+        return self._memoised_responsible(point, self.successor)
+
+    def claimed_span(self, node_id: int) -> Optional[Tuple[int, int]]:
+        """The wrapping interval ``(predecessor, node_id]`` owned by ``node_id``.
+
+        Chord responsibility is contiguous on the ring, which lets the network
+        layer hand over data with a range scan of the store's point index
+        instead of sweeping every entry.  Returns ``None`` when the node owns
+        the whole ring (single member), meaning "no range filter applies".
+        """
+        if node_id not in self._member_set:
+            raise NoSuchPeerError(node_id)
+        if len(self._members) < 2:
+            return None
+        return (self.predecessor(node_id), node_id)
 
     def next_responsible(self, point: int) -> Optional[int]:
         """``nrsp``: the node that takes over ``point`` if its responsible departs."""
@@ -183,11 +213,19 @@ class ChordRing(DHTProtocol):
         if node_id not in self._member_set:
             raise NoSuchPeerError(node_id)
         self._fingers[node_id] = _FingerTable(entries=self._compute_fingers(node_id),
-                                              refreshed_at=now)
+                                              refreshed_at=now,
+                                              version=self.version)
 
     def _compute_fingers(self, node_id: int) -> List[int]:
-        """Finger ``i`` is the successor of ``node_id + 2^i`` over live members."""
-        entries: List[int] = []
+        """Finger ``i`` is the successor of ``node_id + 2^i`` over live members.
+
+        Results are memoised per membership version (shared with
+        :meth:`neighbors`); the scan only reruns after a join/leave/failure.
+        """
+        entries = self._current_fingers.get(node_id)
+        if entries is not None:
+            return entries
+        entries = []
         seen: Set[int] = set()
         for exponent in range(self.bits):
             target = (node_id + (1 << exponent)) % self.space_size
@@ -195,6 +233,7 @@ class ChordRing(DHTProtocol):
             if finger != node_id and finger not in seen:
                 seen.add(finger)
                 entries.append(finger)
+        self._current_fingers[node_id] = entries
         return entries
 
     def _finger_snapshot(self, node_id: int, now: float) -> _FingerTable:
@@ -204,9 +243,15 @@ class ChordRing(DHTProtocol):
         stale = (table is None or
                  now - table.refreshed_at >= self.stabilization_interval)
         if stale:
-            table = _FingerTable(entries=self._compute_fingers(node_id),
-                                 refreshed_at=now)
-            self._fingers[node_id] = table
+            if table is not None and table.version == self.version:
+                # The membership is unchanged since the entries were computed:
+                # a recompute would produce the same fingers, so only the
+                # refresh clock moves.
+                table.refreshed_at = now
+            else:
+                table = _FingerTable(entries=self._compute_fingers(node_id),
+                                     refreshed_at=now, version=self.version)
+                self._fingers[node_id] = table
         return table
 
     # ------------------------------------------------------------------ routing

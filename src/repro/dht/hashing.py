@@ -16,8 +16,10 @@ digest plays the role of ``x``).
 from __future__ import annotations
 
 import hashlib
+import itertools
 import random
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Any, Iterable, Iterator, List, Optional, Sequence
 
 __all__ = [
@@ -34,21 +36,14 @@ DIGEST_BITS = 160
 #: the Carter-Wegman construction is exactly pairwise independent over digests.
 _PRIME = (1 << 521) - 1
 
+#: Bound of the memoisation caches.  Key digests are shared process-wide (the
+#: digest of a key is independent of the hash function); per-function point
+#: caches live on each :class:`PairwiseIndependentHash` instance.
+_DIGEST_CACHE_SIZE = 1 << 16
+_POINT_CACHE_SIZE = 1 << 16
 
-def key_digest(key: Any) -> int:
-    """Map an arbitrary key to a deterministic ``DIGEST_BITS``-bit integer.
 
-    The mapping is stable across processes and Python versions (it does not use
-    the built-in ``hash``), which makes stored data and test expectations
-    reproducible.
-
-    Parameters
-    ----------
-    key:
-        Any object with a stable ``str`` representation.  Bytes are hashed
-        as-is; other objects are hashed through ``repr`` of their type-tagged
-        string form so that ``1`` and ``"1"`` digest differently.
-    """
+def _compute_digest(key: Any) -> int:
     if isinstance(key, bytes):
         payload = b"bytes:" + key
     elif isinstance(key, str):
@@ -60,6 +55,45 @@ def key_digest(key: Any) -> int:
     else:
         payload = b"repr:" + repr(key).encode("utf-8", "backslashreplace")
     return int.from_bytes(hashlib.sha1(payload).digest(), "big")
+
+
+#: Key types eligible for memoisation: exactly those whose payload is a
+#: function of type + equality.  For anything else (floats, tuples, arbitrary
+#: objects) two ``==``-equal keys of the same type can still have different
+#: ``repr`` payloads — e.g. ``0.0`` and ``-0.0`` — so caching by equality
+#: would make the digest depend on evaluation order.
+_CACHEABLE_KEY_TYPES = (bytes, str, bool, int)
+
+
+@lru_cache(maxsize=_DIGEST_CACHE_SIZE)
+def _cached_digest(typed_key: tuple) -> int:
+    # The cache key is ``(type(key), key)`` rather than the bare key: ``lru_cache``
+    # compares keys with ``==``, and ``True == 1`` while their payloads (hence
+    # digests) differ.
+    return _compute_digest(typed_key[1])
+
+
+def key_digest(key: Any) -> int:
+    """Map an arbitrary key to a deterministic ``DIGEST_BITS``-bit integer.
+
+    The mapping is stable across processes and Python versions (it does not use
+    the built-in ``hash``), which makes stored data and test expectations
+    reproducible.  Digests of ``bytes``/``str``/``bool``/``int`` keys — the
+    only types whose payload is fully determined by type and equality — are
+    memoised in a bounded LRU shared by every hash function, so re-deriving
+    the SHA-1 of a hot key is a dictionary hit instead of a hash computation.
+    Other key types are always computed fresh.
+
+    Parameters
+    ----------
+    key:
+        Any object with a stable ``str`` representation.  Bytes are hashed
+        as-is; other objects are hashed through ``repr`` of their type-tagged
+        string form so that ``1`` and ``"1"`` digest differently.
+    """
+    if isinstance(key, _CACHEABLE_KEY_TYPES):
+        return _cached_digest((type(key), key))
+    return _compute_digest(key)
 
 
 @dataclass(frozen=True)
@@ -92,6 +126,13 @@ class PairwiseIndependentHash:
             raise ValueError(f"bits must be in [1, 512], got {self.bits}")
         if self.a % _PRIME == 0:
             raise ValueError("coefficient 'a' must be non-zero modulo p")
+        # Precomputed evaluation state, kept out of the dataclass fields so
+        # equality/hashing still compare only (name, a, b, bits).  The output
+        # space is a power of two, so the final reduction is a bitmask.
+        object.__setattr__(self, "_a_reduced", self.a % _PRIME)
+        object.__setattr__(self, "_b_reduced", self.b % _PRIME)
+        object.__setattr__(self, "_mask", (1 << self.bits) - 1)
+        object.__setattr__(self, "_points", {})
 
     @property
     def space_size(self) -> int:
@@ -102,9 +143,36 @@ class PairwiseIndependentHash:
         """Return the identifier-space point for ``key`` (alias of ``__call__``)."""
         return self(key)
 
+    def _evaluate(self, key: Any) -> int:
+        return ((self._a_reduced * key_digest(key) + self._b_reduced)
+                % _PRIME) & self._mask
+
     def __call__(self, key: Any) -> int:
-        digest = key_digest(key)
-        return ((self.a * digest + self.b) % _PRIME) % self.space_size
+        # Per-(function, key) memoisation: the placement of a key never
+        # changes, so the 521-bit Carter-Wegman reduction runs once per hot
+        # key.  Only types whose payload is a function of type + equality are
+        # cached (see ``_CACHEABLE_KEY_TYPES``); the memo key is type-tagged
+        # because ``True == 1`` but their digests differ.
+        if not isinstance(key, _CACHEABLE_KEY_TYPES):
+            return self._evaluate(key)
+        points = self._points
+        cached = points.get((type(key), key))
+        if cached is None:
+            cached = self._evaluate(key)
+            if len(points) >= _POINT_CACHE_SIZE:
+                points.clear()
+            points[(type(key), key)] = cached
+        return cached
+
+    def points_many(self, keys: Iterable[Any]) -> List[int]:
+        """Batch evaluation: the identifier-space point of every key, in order.
+
+        Convenience entry point for the bulk paths (collision estimation,
+        benchmarks, batched network operations); each key goes through the
+        same per-function memo as :meth:`__call__`.
+        """
+        call = self.__call__
+        return [call(key) for key in keys]
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.name}(bits={self.bits})"
@@ -173,23 +241,43 @@ class HashFamily:
 
 
 def collision_probability(functions: Iterable[PairwiseIndependentHash],
-                          keys: Iterable[Any]) -> float:
+                          keys: Iterable[Any], *,
+                          max_pairs: int = 200_000,
+                          seed: int = 0) -> float:
     """Empirical probability that two distinct keys collide under one function.
 
     Utility used by tests and the analysis notebook-style example to sanity
     check the pairwise-independence construction: for a family over ``2^bits``
     points the collision probability of a random pair should be ~``2^-bits``.
+
+    Pairs are enumerated with :func:`itertools.combinations`.  When a key set
+    is large enough that one function would have to examine more than
+    ``max_pairs`` pairs, the estimate switches to a deterministic sample:
+    ``max_pairs`` index pairs drawn by a ``random.Random(seed)``, so large key
+    sets cost O(``max_pairs``) per function instead of O(n²) while the result
+    stays reproducible for a given ``seed``.
     """
     functions = list(functions)
     keys = list(keys)
     if len(keys) < 2 or not functions:
         return 0.0
+    total_pairs = len(keys) * (len(keys) - 1) // 2
+    sample_rng = random.Random(seed) if total_pairs > max_pairs else None
     collisions = 0
     pairs = 0
     for fn in functions:
-        points = [fn(key) for key in keys]
-        for i in range(len(points)):
-            for j in range(i + 1, len(points)):
+        points = fn.points_many(keys)
+        if sample_rng is None:
+            for first, second in itertools.combinations(points, 2):
+                pairs += 1
+                if first == second:
+                    collisions += 1
+        else:
+            indices = range(len(points))
+            for _ in range(max_pairs):
+                # ``sample`` draws two distinct indices uniformly, so every
+                # unordered pair is equally likely.
+                i, j = sample_rng.sample(indices, 2)
                 pairs += 1
                 if points[i] == points[j]:
                     collisions += 1

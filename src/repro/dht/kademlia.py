@@ -263,6 +263,10 @@ class KademliaOverlay(DHTProtocol):
         self._member_set: Set[int] = set()
         self._departed: Dict[int, Tuple[str, float]] = {}
         self._tables: Dict[int, RoutingTable] = {}
+        # Routing *tables* mutate continuously with lookup traffic, but XOR
+        # responsibility depends only on the live membership, so the
+        # point -> closest-member memo keys on the version counter alone.
+        self._init_version_caches()
 
     # ------------------------------------------------------------------ sizing
     @property
@@ -271,7 +275,7 @@ class KademliaOverlay(DHTProtocol):
         return 1 << self.bits
 
     def nodes(self) -> Sequence[int]:
-        return tuple(self._members)
+        return self._cached_nodes(lambda: tuple(self._members))
 
     def __contains__(self, node_id: int) -> bool:
         return node_id in self._member_set
@@ -294,6 +298,7 @@ class KademliaOverlay(DHTProtocol):
         self._members.insert(index, node_id)
         self._member_set.add(node_id)
         self._departed.pop(node_id, None)
+        self._membership_changed()
         table = RoutingTable(node_id, self.bits, self.k)
         self._tables[node_id] = table
         if affected:
@@ -347,6 +352,7 @@ class KademliaOverlay(DHTProtocol):
         self._member_set.discard(node_id)
         self._tables.pop(node_id, None)
         self._departed[node_id] = (reason, now)
+        self._membership_changed()
         # Other nodes keep the departed contact in their buckets until a
         # lookup runs into it (stale-state realism; there is no oracle purge).
 
@@ -400,7 +406,9 @@ class KademliaOverlay(DHTProtocol):
         if not self._members:
             raise EmptyNetworkError("the Kademlia overlay has no live nodes")
         point %= self.space_size
-        return self._members[self._descend(point, 0, len(self._members))[0]]
+        return self._memoised_responsible(
+            point,
+            lambda p: self._members[self._descend(p, 0, len(self._members))[0]])
 
     def next_responsible(self, point: int) -> Optional[int]:
         """``nrsp``: the second XOR-closest live node to ``point``.

@@ -36,6 +36,11 @@ class DepartureReason:
     FAIL = "fail"
 
 
+#: Bound of the per-overlay point -> responsible memo (cleared on membership
+#: changes and when full).
+_RSP_CACHE_SIZE = 1 << 16
+
+
 @dataclass(frozen=True)
 class RouteResult:
     """Result of routing from an origin node towards an identifier point.
@@ -96,6 +101,53 @@ class DHTProtocol(abc.ABC):
     #: number of bits of the identifier space
     bits: int
 
+    #: Membership version counter.  Implementations increment it on every
+    #: ``add_node``/``remove_node`` (via :meth:`_membership_changed`) so that
+    #: responsibility and routing-state caches (both the overlay's own and any
+    #: held by callers) can be keyed on the version and invalidated
+    #: incrementally instead of recomputed per query.  Overlays that never
+    #: change membership may leave it at 0.
+    version: int = 0
+
+    # --------------------------------------------- versioned-cache plumbing
+    # Shared by the overlay implementations so the invalidation protocol
+    # lives in exactly one place: call ``_init_version_caches()`` during
+    # construction, ``_membership_changed()`` after every membership
+    # mutation, and serve ``responsible_for``/``nodes`` through the memo
+    # helpers.  Subclasses with additional version-keyed caches clear them in
+    # ``_clear_version_caches``.
+
+    def _init_version_caches(self) -> None:
+        self.version = 0
+        self._rsp_cache: Dict[int, int] = {}
+        self._nodes_cache: Optional[Tuple[int, ...]] = None
+
+    def _membership_changed(self) -> None:
+        """Advance the membership version and drop every version-keyed cache."""
+        self.version += 1
+        self._rsp_cache.clear()
+        self._nodes_cache = None
+        self._clear_version_caches()
+
+    def _clear_version_caches(self) -> None:
+        """Hook: subclasses drop any additional version-keyed caches here."""
+
+    def _memoised_responsible(self, point: int, compute) -> int:
+        """Bounded point -> responsible memo, valid for the current version."""
+        cached = self._rsp_cache.get(point)
+        if cached is None:
+            cached = compute(point)
+            if len(self._rsp_cache) >= _RSP_CACHE_SIZE:
+                self._rsp_cache.clear()
+            self._rsp_cache[point] = cached
+        return cached
+
+    def _cached_nodes(self, materialise) -> Tuple[int, ...]:
+        """Node tuple for the current version (random-origin draws are hot)."""
+        if self._nodes_cache is None:
+            self._nodes_cache = materialise()
+        return self._nodes_cache
+
     # --------------------------------------------------------------- topology
     @abc.abstractmethod
     def add_node(self, node_id: int, *, now: float = 0.0) -> Set[int]:
@@ -145,6 +197,19 @@ class DHTProtocol(abc.ABC):
     @abc.abstractmethod
     def neighbors(self, node_id: int) -> Set[int]:
         """The overlay neighbours of ``node_id`` (routing-table peers)."""
+
+    def claimed_span(self, node_id: int) -> Optional[Tuple[int, int]]:
+        """The contiguous identifier interval owned by ``node_id``, if any.
+
+        Overlays whose responsibility regions are contiguous in the integer
+        identifier space (Chord) return the wrapping interval
+        ``(predecessor, node_id]`` so the network layer can hand data over
+        with a range scan of the stores' point indexes.  Overlays with
+        non-contiguous regions (CAN's packed coordinates, Kademlia's XOR
+        balls) return ``None`` and the network falls back to a per-point
+        responsibility check.
+        """
+        return None
 
     # ------------------------------------------------------------------ routing
     @abc.abstractmethod

@@ -27,10 +27,20 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Union
 
 from repro.dht import registry
-from repro.dht.errors import EmptyNetworkError, NoSuchPeerError
+from repro.dht.errors import (
+    EmptyNetworkError,
+    InvalidConfigurationError,
+    NoSuchPeerError,
+)
 from repro.dht.hashing import PairwiseIndependentHash
 from repro.dht.messages import MessageKind, MessageSizes, OperationTrace
-from repro.dht.model import DepartureReason, DHTProtocol, LookupResult, ResponsibilityLog
+from repro.dht.model import (
+    DepartureReason,
+    DHTProtocol,
+    LookupResult,
+    ResponsibilityLog,
+    RouteResult,
+)
 from repro.dht.storage import LocalStore, StoredValue
 
 __all__ = ["DHTNetwork", "NetworkObserver", "NetworkStats", "PeerState"]
@@ -177,8 +187,18 @@ class DHTNetwork:
         return self.protocol.random_node(self.rng)
 
     def new_peer_id(self) -> int:
-        """Draw an unused identifier from the overlay's identifier space."""
+        """Draw an unused identifier from the overlay's identifier space.
+
+        Raises :class:`InvalidConfigurationError` when every identifier is
+        taken (tiny ``bits`` with too many peers), instead of rejection-sampling
+        forever.  The check happens before any RNG draw, so seeded runs
+        consume the same random stream as before the guard existed.
+        """
         space = 1 << self.bits
+        if len(self._peers) >= space or len(self.protocol) >= space:
+            raise InvalidConfigurationError(
+                f"identifier space of 2^{self.bits} points is exhausted by "
+                f"{len(self._peers)} peers; increase 'bits'")
         while True:
             candidate = self.rng.randrange(space)
             if candidate not in self.protocol and candidate not in self._peers:
@@ -189,8 +209,11 @@ class DHTNetwork:
         self._observers.append(observer)
 
     def remove_observer(self, observer: NetworkObserver) -> None:
-        """Unregister a previously added observer."""
-        self._observers.remove(observer)
+        """Unregister an observer; a no-op when it was never registered."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------ churn
     def join_peer(self, peer_id: Optional[int] = None) -> int:
@@ -244,16 +267,33 @@ class DHTNetwork:
             observer.peer_failed(self, peer_id)
 
     def _hand_over_entries(self, previous_owner: int, *, to_peer: int) -> None:
-        """Move entries from ``previous_owner`` that now belong to ``to_peer``."""
+        """Move entries from ``previous_owner`` that now belong to ``to_peer``.
+
+        On overlays with contiguous responsibility (Chord) the moving entries
+        are found with a range scan of the store's point index over the
+        newcomer's claimed interval; otherwise the store's distinct points are
+        checked against the (version-cached) responsibility map.  Either way
+        the cost scales with the data actually moving, not the store size.
+        """
         if previous_owner not in self._peers or previous_owner == to_peer:
             return
         source = self._peers[previous_owner].store
-        for entry in source.values():
-            if self.protocol.responsible_for(entry.point) == to_peer:
-                source.delete(entry.hash_name, entry.key)
-                self._store_entry(to_peer, entry, record_responsibility=True)
-                self.stats.maintenance_messages += 1
-                self.stats.handover_entries += 1
+        if not len(source):
+            return
+        span = self.protocol.claimed_span(to_peer)
+        if span is not None:
+            moving = source.entries_in_span(span[0], span[1])
+        else:
+            responsible_for = self.protocol.responsible_for
+            moving = []
+            for point in source.points():
+                if responsible_for(point) == to_peer:
+                    moving.extend(source.entries_at(point))
+        for entry in moving:
+            source.delete(entry.hash_name, entry.key)
+            self._store_entry(to_peer, entry, record_responsibility=True)
+            self.stats.maintenance_messages += 1
+            self.stats.handover_entries += 1
 
     def _store_entry(self, peer_id: int, entry: StoredValue, *,
                      record_responsibility: bool = False) -> bool:
@@ -273,14 +313,29 @@ class DHTNetwork:
         """Locate ``rsp(k, h)`` from ``origin`` through the overlay's routing.
 
         Records one message per routing hop (plus retries around departed
-        fingers) in ``trace`` when provided.
+        fingers) in ``trace`` when provided.  Without a trace nobody is
+        accounting for hops, so the responsible is resolved directly from the
+        overlay's (version-cached) responsibility map — same responsible,
+        same operation result, no hop-by-hop simulation.  The returned route
+        then only names the origin and the responsible; its ``hops`` are not
+        a cost measurement.  Note that skipping the walk also skips the
+        walk's routing-state upkeep (Kademlia lookups evict dead contacts and
+        learn fresh ones as they go), so experiments that *measure* stale-state
+        effects must not interleave untraced traffic with their traced
+        operations — the services always trace, so harness runs are
+        unaffected.
         """
         origin = self._resolve_origin(origin)
         point = hash_fn(key)
+        if trace is None:
+            responsible = self.protocol.responsible_for(point)
+            path = (origin,) if origin == responsible else (origin, responsible)
+            route = RouteResult(path=path, responsible=responsible)
+            return LookupResult(key=key, hash_name=hash_fn.name, point=point,
+                                responsible=responsible, route=route)
         route = self.protocol.route(origin, point, now=self.now)
-        if trace is not None:
-            trace.record_route(route.path, retries=route.retries,
-                               timeouts=route.timeouts)
+        trace.record_route(route.path, retries=route.retries,
+                           timeouts=route.timeouts)
         return LookupResult(key=key, hash_name=hash_fn.name, point=point,
                             responsible=route.responsible, route=route)
 
@@ -351,8 +406,10 @@ class DHTNetwork:
         for index, point in enumerate(points):
             grouped.setdefault(self.protocol.responsible_for(point), []).append(index)
         for responsible, indices in grouped.items():
-            route = self.protocol.route(origin, points[indices[0]], now=self.now)
             if trace is not None:
+                # Only routed when someone accounts for the hops; the
+                # responsible itself is already known from the grouping.
+                route = self.protocol.route(origin, points[indices[0]], now=self.now)
                 trace.record_route(route.path, retries=route.retries,
                                    timeouts=route.timeouts)
             if responsible in unreachable:

@@ -10,6 +10,7 @@ one if it carries a strictly newer timestamp (respectively a newer version).
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, replace
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
@@ -82,10 +83,17 @@ class LocalStore:
     A peer may hold several replicas of the same key when it happens to be
     responsible for the key under more than one replication hash function, so
     the hash function name is part of the index.
+
+    A secondary index groups entries by their identifier-space ``point`` so
+    churn-induced rebalancing can locate the entries of a moving identifier
+    interval with a range scan (:meth:`entries_in_span`) instead of sweeping
+    the whole store.
     """
 
     def __init__(self) -> None:
         self._entries: Dict[Tuple[str, Any], StoredValue] = {}
+        self._by_point: Dict[int, Dict[Tuple[str, Any], StoredValue]] = {}
+        self._sorted_points: Optional[List[int]] = None  # rebuilt lazily
 
     # ------------------------------------------------------------------ write
     def put(self, value: StoredValue, *, reconcile: bool = True) -> bool:
@@ -100,15 +108,36 @@ class LocalStore:
         if reconcile and not value.is_newer_than(existing):
             return False
         self._entries[index] = value
+        if existing is not None and existing.point != value.point:
+            self._unindex_point(existing.point, index)
+        bucket = self._by_point.get(value.point)
+        if bucket is None:
+            bucket = self._by_point[value.point] = {}
+            self._sorted_points = None
+        bucket[index] = value
         return True
 
     def delete(self, hash_name: str, key: Any) -> Optional[StoredValue]:
         """Remove and return the replica of ``key`` under ``hash_name``."""
-        return self._entries.pop((hash_name, key), None)
+        entry = self._entries.pop((hash_name, key), None)
+        if entry is not None:
+            self._unindex_point(entry.point, (hash_name, key))
+        return entry
+
+    def _unindex_point(self, point: int, index: Tuple[str, Any]) -> None:
+        bucket = self._by_point.get(point)
+        if bucket is None:
+            return
+        bucket.pop(index, None)
+        if not bucket:
+            del self._by_point[point]
+            self._sorted_points = None
 
     def clear(self) -> None:
         """Drop every replica (used when a peer's data is lost on failure)."""
         self._entries.clear()
+        self._by_point.clear()
+        self._sorted_points = None
 
     # ------------------------------------------------------------------- read
     def get(self, hash_name: str, key: Any) -> Optional[StoredValue]:
@@ -141,11 +170,53 @@ class LocalStore:
         return [value for (_, stored_key), value in self._entries.items()
                 if stored_key == key]
 
+    # ------------------------------------------------------------- point index
+    def _points_sorted(self) -> List[int]:
+        """The lazily-maintained sorted point list (internal: do not mutate)."""
+        if self._sorted_points is None:
+            self._sorted_points = sorted(self._by_point)
+        return self._sorted_points
+
+    def points(self) -> List[int]:
+        """The distinct identifier points present in the store, sorted."""
+        return list(self._points_sorted())
+
+    def entries_at(self, point: int) -> List[StoredValue]:
+        """All entries whose identifier point equals ``point``."""
+        bucket = self._by_point.get(point)
+        return list(bucket.values()) if bucket else []
+
+    def entries_in_span(self, lo: int, hi: int) -> List[StoredValue]:
+        """Entries whose point lies in the wrapping interval ``(lo, hi]``.
+
+        This is the range scan behind join/leave handover on overlays with
+        contiguous responsibility (Chord's ``claimed_span``): only the entries
+        of the moving interval are visited, in point order.  ``lo == hi``
+        denotes the whole space.
+        """
+        points = self._points_sorted()
+        selected: List[int]
+        if lo == hi:
+            selected = points
+        elif lo < hi:
+            selected = points[bisect.bisect_right(points, lo):
+                              bisect.bisect_right(points, hi)]
+        else:  # interval wraps past the top of the identifier space
+            selected = (points[bisect.bisect_right(points, lo):]
+                        + points[:bisect.bisect_right(points, hi)])
+        entries: List[StoredValue] = []
+        for point in selected:
+            entries.extend(self._by_point[point].values())
+        return entries
+
     def touch(self, hash_name: str, key: Any, stored_at: float) -> None:
         """Update the ``stored_at`` time of an entry (used by handover)."""
         index = (hash_name, key)
-        if index in self._entries:
-            self._entries[index] = replace(self._entries[index], stored_at=stored_at)
+        entry = self._entries.get(index)
+        if entry is not None:
+            updated = replace(entry, stored_at=stored_at)
+            self._entries[index] = updated
+            self._by_point[entry.point][index] = updated
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"LocalStore(entries={len(self._entries)})"

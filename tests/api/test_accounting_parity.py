@@ -17,7 +17,11 @@ by the harness and figures stay comparable:
   both services;
 * UMS's retrieval decomposes exactly into the KTS exchange plus the probes;
   at ``Consistency.ANY`` the two services are message-for-message identical;
-* ``message_count`` equals the trace length on every result of both services.
+* ``message_count`` equals the trace length on every result of both services;
+* the trace-free fast path (no ``OperationTrace`` attached) changes neither
+  any operation result nor the accounting of traced operations: both services
+  always trace, so every message the harness and figures count still comes
+  from the hop-simulated ``route(...)`` walk.
 """
 
 from __future__ import annotations
@@ -127,3 +131,51 @@ class TestResultSurfaceParity:
         with cluster.session(service="brk") as session:
             brk_result = session.retrieve("whatever")
         assert type(ums_result) is type(brk_result)
+
+
+class TestFastPathParity:
+    """The trace-free fast path must be accounting-invisible.
+
+    Untraced DHT operations skip the hop simulation entirely, so interleaving
+    them with service traffic must not change what the traced operations
+    report — same replica placement, same results, same message counts as a
+    twin cluster that never used the fast path.
+    """
+
+    def _twin(self):
+        return Cluster.build(peers=48, replicas=8, seed=3)
+
+    def test_interleaved_untraced_ops_do_not_change_traced_accounting(self):
+        plain, interleaved = self._twin(), self._twin()
+        fn = next(iter(interleaved.replication))
+        counts = {}
+        for name, cluster in (("plain", plain), ("interleaved", interleaved)):
+            with cluster.session(service="ums") as session:
+                session.insert("k", "v1")
+                if name == "interleaved":
+                    # Fast-path traffic between the traced operations.
+                    for index in range(25):
+                        cluster.network.put(f"side-{index}", fn, index,
+                                            version=index)
+                        cluster.network.get(f"side-{index}", fn)
+                result = session.retrieve("k")
+                assert result.found and result.is_current
+                counts[name] = (result.message_count,
+                                tuple(sorted(
+                                    result.trace.count_by_kind().items())))
+        assert counts["plain"] == counts["interleaved"]
+
+    def test_untraced_service_results_match_traced_placement(self):
+        cluster = self._twin()
+        with cluster.session() as session:
+            session.insert("k", "payload")
+        network = cluster.network
+        for fn in cluster.replication:
+            responsible = network.responsible_peer("k", fn)
+            fast = network.get("k", fn)           # fast path
+            trace = network.new_trace()
+            routed = network.get("k", fn, trace=trace)  # hop-simulated
+            assert (fast is None) == (routed is None)
+            if fast is not None:
+                assert fast.data == routed.data == "payload"
+                assert network.lookup("k", fn).responsible == responsible

@@ -276,3 +276,49 @@ class TestStaleFingers:
         for _ in range(20):
             route = ring.route(ring.random_node(rng), rng.randrange(65536), now=0.0)
             assert route.retries == 0
+
+
+class TestClaimedSpan:
+    def test_every_point_in_span_maps_to_the_node(self):
+        ring = ChordRing(bits=8, rng=random.Random(1))
+        for node in (10, 60, 130, 200, 250):
+            ring.add_node(node)
+        for node in (10, 60, 130, 200, 250):
+            lo, hi = ring.claimed_span(node)
+            assert hi == node
+            # Walk the wrapping interval (lo, hi] exhaustively (8-bit space).
+            point = (lo + 1) % ring.space_size
+            while True:
+                assert ring.responsible_for(point) == node
+                if point == hi:
+                    break
+                point = (point + 1) % ring.space_size
+            # The point just past the span belongs to someone else.
+            assert ring.responsible_for((hi + 1) % ring.space_size) != node
+
+    def test_single_member_owns_everything(self):
+        ring = ChordRing(bits=8, rng=random.Random(1))
+        ring.add_node(42)
+        assert ring.claimed_span(42) is None
+
+    def test_unknown_node_raises(self):
+        ring = ChordRing(bits=8, rng=random.Random(1))
+        ring.add_node(42)
+        with pytest.raises(NoSuchPeerError):
+            ring.claimed_span(7)
+
+
+class TestMembershipVersion:
+    def test_version_advances_and_invalidate_caches(self):
+        ring = ChordRing(bits=8, rng=random.Random(1))
+        ring.add_node(10)
+        ring.add_node(200)
+        version = ring.version
+        assert ring.responsible_for(50) == 200
+        ring.add_node(100)
+        assert ring.version == version + 1
+        # The cached successor for point 50 must have been invalidated.
+        assert ring.responsible_for(50) == 100
+        ring.remove_node(100)
+        assert ring.version == version + 2
+        assert ring.responsible_for(50) == 200

@@ -146,3 +146,70 @@ class TestHashingProperties:
     def test_determinism_across_bit_widths(self, key, bits):
         fn = PairwiseIndependentHash(name="h", a=31, b=17, bits=bits)
         assert fn(key) == fn(key)
+
+
+class TestMemoisation:
+    def test_cached_point_matches_fresh_evaluation(self):
+        fn = PairwiseIndependentHash(name="h", a=987654321, b=123456789, bits=24)
+        first = fn("hot-key")          # fills the per-function cache
+        assert fn("hot-key") == first  # cache hit
+        twin = PairwiseIndependentHash(name="h", a=987654321, b=123456789, bits=24)
+        assert twin("hot-key") == first  # fresh instance, fresh cache
+
+    def test_cache_distinguishes_equal_keys_of_different_types(self):
+        # True == 1 == 1.0, but their type-tagged payloads (hence digests)
+        # differ; the memo key is type-tagged so the cache must not conflate
+        # them.
+        fn = PairwiseIndependentHash(name="h", a=31, b=17, bits=32)
+        points = {fn(True), fn(1), fn(1.0), fn("1")}
+        assert key_digest(True) != key_digest(1)
+        assert fn(True) == fn(True) and fn(1) == fn(1)
+        assert len(points) >= 2  # collisions possible in principle, not conflation
+
+    def test_unhashable_keys_bypass_the_cache(self):
+        fn = PairwiseIndependentHash(name="h", a=31, b=17, bits=32)
+        assert fn(["a", "b"]) == fn(["a", "b"])
+        assert key_digest(["a", "b"]) == key_digest(["a", "b"])
+
+    def test_equal_keys_with_distinct_reprs_stay_order_independent(self):
+        # 0.0 == -0.0 and they share a hash, but their repr payloads differ;
+        # a cache keyed on equality would return whichever was queried first.
+        # Floats use the uncached repr branch, so order must not matter.
+        assert key_digest(0.0) != key_digest(-0.0)
+        assert key_digest(-0.0) != key_digest(0.0)  # reversed query order
+        fn = PairwiseIndependentHash(name="h", a=31, b=17, bits=64)
+        first = (fn(0.0), fn(-0.0))
+        twin = PairwiseIndependentHash(name="h", a=31, b=17, bits=64)
+        assert (twin(-0.0), twin(0.0)) == (first[1], first[0])
+
+    def test_points_many_matches_individual_calls(self):
+        family = HashFamily(bits=32, seed=11)
+        fn = family.sample()
+        keys = [f"key-{index}" for index in range(40)] + [("tuple", 1), b"raw"]
+        assert fn.points_many(keys) == [fn(key) for key in keys]
+
+    def test_equality_and_hash_ignore_cache_state(self):
+        first = PairwiseIndependentHash(name="h", a=31, b=17, bits=32)
+        second = PairwiseIndependentHash(name="h", a=31, b=17, bits=32)
+        first("warm")  # only `first` has a warm cache
+        assert first == second
+        assert hash(first) == hash(second)
+
+
+class TestCollisionSamplingCap:
+    def test_sampled_estimate_is_deterministic(self):
+        family = HashFamily(bits=8, seed=5)
+        functions = family.sample_many(2)
+        keys = [f"key-{index}" for index in range(120)]  # 7140 pairs per fn
+        first = collision_probability(functions, keys, max_pairs=500, seed=3)
+        second = collision_probability(functions, keys, max_pairs=500, seed=3)
+        assert first == second
+
+    def test_sampled_estimate_tracks_exhaustive_count(self):
+        family = HashFamily(bits=4, seed=6)  # tiny space: plenty of collisions
+        functions = family.sample_many(2)
+        keys = [f"key-{index}" for index in range(80)]
+        exhaustive = collision_probability(functions, keys, max_pairs=10**9)
+        sampled = collision_probability(functions, keys, max_pairs=2000, seed=1)
+        assert exhaustive > 0
+        assert abs(sampled - exhaustive) < 0.05

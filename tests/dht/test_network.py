@@ -7,7 +7,11 @@ import random
 import pytest
 
 from repro.core.timestamps import Timestamp
-from repro.dht.errors import EmptyNetworkError, NoSuchPeerError
+from repro.dht.errors import (
+    EmptyNetworkError,
+    InvalidConfigurationError,
+    NoSuchPeerError,
+)
 from repro.dht.hashing import HashFamily
 from repro.dht.messages import MessageKind
 from repro.dht.network import DHTNetwork, NetworkObserver
@@ -83,6 +87,23 @@ class TestPeerAccess:
         network = DHTNetwork(seed=1)
         with pytest.raises(EmptyNetworkError):
             network.random_alive_peer()
+
+    def test_new_peer_id_raises_when_space_exhausted(self):
+        # 2^3 = 8 identifiers, all taken: drawing a 9th must fail loudly
+        # instead of rejection-sampling forever.
+        network = DHTNetwork.build(8, bits=3, seed=11)
+        with pytest.raises(InvalidConfigurationError):
+            network.new_peer_id()
+
+    def test_join_on_exhausted_space_raises(self):
+        network = DHTNetwork.build(8, bits=3, seed=11)
+        with pytest.raises(InvalidConfigurationError):
+            network.join_peer()
+
+    def test_space_frees_up_after_departure(self):
+        network = DHTNetwork.build(8, bits=3, seed=11)
+        network.leave_peer(network.random_alive_peer())
+        assert not network.is_alive(network.new_peer_id())
 
 
 class TestPutGet:
@@ -250,6 +271,36 @@ class TestObservers:
         network.remove_observer(observer)
         network.join_peer()
         assert observer.events == []
+
+    def test_remove_observer_is_idempotent(self, network):
+        observer = RecordingObserver()
+        network.add_observer(observer)
+        network.remove_observer(observer)
+        network.remove_observer(observer)  # second removal: no-op, no error
+        network.remove_observer(RecordingObserver())  # never registered: no-op
+        network.join_peer()
+        assert observer.events == []
+
+    def test_observers_notified_in_registration_order(self, network):
+        order = []
+
+        class Ordered(NetworkObserver):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def peer_joined(self, network, peer_id, affected):
+                order.append(self.tag)
+
+        first, second, third = Ordered("a"), Ordered("b"), Ordered("c")
+        for observer in (first, second, third):
+            network.add_observer(observer)
+        network.join_peer()
+        assert order == ["a", "b", "c"]
+        # Removing the middle observer keeps the relative order of the rest.
+        network.remove_observer(second)
+        order.clear()
+        network.join_peer()
+        assert order == ["a", "c"]
 
 
 class TestResponsibilityTracking:

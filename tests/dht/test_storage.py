@@ -129,3 +129,76 @@ class TestLocalStore:
         store = LocalStore()
         store.touch("hr-0", "k", stored_at=99.0)
         assert store.get("hr-0", "k") is None
+
+
+def point_entry(key, point, hash_name="hr-0", version=1):
+    return StoredValue(key=key, data=f"data-{key}", version=version,
+                       hash_name=hash_name, point=point)
+
+
+class TestPointIndex:
+    def test_points_are_sorted_and_distinct(self):
+        store = LocalStore()
+        for key, point in (("a", 30), ("b", 10), ("c", 10), ("d", 20)):
+            store.put(point_entry(key, point))
+        assert store.points() == [10, 20, 30]
+
+    def test_entries_at_groups_by_point(self):
+        store = LocalStore()
+        store.put(point_entry("a", 10))
+        store.put(point_entry("b", 10, hash_name="hr-1"))
+        store.put(point_entry("c", 20))
+        assert sorted(entry.key for entry in store.entries_at(10)) == ["a", "b"]
+        assert store.entries_at(99) == []
+
+    def test_entries_in_span_simple_interval(self):
+        store = LocalStore()
+        for key, point in (("a", 5), ("b", 10), ("c", 15), ("d", 20)):
+            store.put(point_entry(key, point))
+        # (5, 15] excludes the lower bound and includes the upper one.
+        assert sorted(entry.key for entry in store.entries_in_span(5, 15)) == \
+            ["b", "c"]
+
+    def test_entries_in_span_wrapping_interval(self):
+        store = LocalStore()
+        for key, point in (("a", 5), ("b", 10), ("c", 200), ("d", 250)):
+            store.put(point_entry(key, point))
+        # (200, 10] wraps past the top of the space.
+        assert sorted(entry.key for entry in store.entries_in_span(200, 10)) == \
+            ["a", "b", "d"]
+
+    def test_entries_in_span_degenerate_interval_is_whole_space(self):
+        store = LocalStore()
+        for key, point in (("a", 5), ("b", 10)):
+            store.put(point_entry(key, point))
+        assert sorted(entry.key for entry in store.entries_in_span(7, 7)) == \
+            ["a", "b"]
+
+    def test_delete_maintains_point_index(self):
+        store = LocalStore()
+        store.put(point_entry("a", 10))
+        store.put(point_entry("b", 10, hash_name="hr-1"))
+        store.delete("hr-0", "a")
+        assert store.points() == [10]
+        store.delete("hr-1", "b")
+        assert store.points() == []
+
+    def test_clear_resets_point_index(self):
+        store = LocalStore()
+        store.put(point_entry("a", 10))
+        store.clear()
+        assert store.points() == []
+        assert store.entries_at(10) == []
+
+    def test_rejected_put_leaves_index_unchanged(self):
+        store = LocalStore()
+        store.put(point_entry("a", 10, version=5))
+        assert not store.put(point_entry("a", 10, version=3))
+        assert store.points() == [10]
+        assert len(store.entries_at(10)) == 1
+
+    def test_touch_keeps_point_index_in_sync(self):
+        store = LocalStore()
+        store.put(point_entry("a", 10))
+        store.touch("hr-0", "a", stored_at=42.0)
+        assert store.entries_at(10)[0].stored_at == 42.0
