@@ -12,7 +12,9 @@ The package provides:
   Key-based Timestamping Service (KTS) — plus the BRICKS baseline (BRK) in
   :mod:`repro.core`;
 * the end-to-end simulation harness reproducing the paper's evaluation
-  (Table 1 parameters, churn/update/query workloads) in :mod:`repro.simulation`;
+  (Table 1 parameters, churn/update/query workloads) in :mod:`repro.simulation`,
+  plus the declarative scenario engine (skewed/bursty workloads, correlated
+  fault profiles, record/replay) in :mod:`repro.simulation.scenarios`;
 * per-figure experiment generators in :mod:`repro.experiments`;
 * example applications (agenda, auction, reservation management) in
   :mod:`repro.apps`.
@@ -44,7 +46,7 @@ from repro.core import (
 from repro.dht import CanSpace, ChordRing, DHTNetwork, HashFamily
 from repro.sim import NetworkCostModel, Simulator
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BricksService",

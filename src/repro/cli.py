@@ -1,15 +1,20 @@
 """Command-line interface.
 
-Three entry points are provided (also installable as console scripts, and
+Four entry points are provided (also installable as console scripts, and
 reachable as ``python -m repro``):
 
 * ``python -m repro simulate`` — run one simulation (one algorithm, one
   parameter point) and print the measured response time / communication cost;
+* ``python -m repro scenario`` — the declarative scenario engine:
+  ``list`` the registered scenarios, ``run`` one (with record/replay via
+  ``--spec-out``/``--spec``), or ``compare`` scenarios × overlays × services
+  as per-metric tables;
 * ``python -m repro experiments`` — regenerate the paper's tables and
   figures (thin wrapper over :mod:`repro.experiments.runner`);
 * ``python -m repro registry`` — list the pluggable backends: the DHT
-  overlays of :mod:`repro.dht.registry` and the currency services of
-  :mod:`repro.api.services`.
+  overlays of :mod:`repro.dht.registry`, the currency services of
+  :mod:`repro.api.services` and the scenarios of
+  :mod:`repro.simulation.scenarios.registry`.
 
 Examples
 --------
@@ -17,7 +22,10 @@ Examples
 
     python -m repro simulate --algorithm ums-direct --peers 2000 --duration 1800
     python -m repro simulate --algorithm brk --peers 500 --replicas 20 --json
-    python -m repro simulate --consistency best-effort --peers 500
+    python -m repro scenario list
+    python -m repro scenario run --scenario flashcrowd --protocol kademlia
+    python -m repro scenario compare --scenarios hotspot,flashcrowd \
+        --protocols chord,kademlia --services ums,brk
     python -m repro experiments --scale quick --output results.md
 """
 
@@ -32,10 +40,29 @@ from repro.api.results import Consistency
 from repro.api.services import service_names
 from repro.dht.registry import overlay_names
 from repro.experiments import runner as experiments_runner
+from repro.experiments.reporting import comparison_tables
 from repro.simulation.config import Algorithm, SimulationParameters
 from repro.simulation.harness import run_simulation
+from repro.simulation.scenarios import (
+    ScenarioSpec,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
 
-__all__ = ["build_parser", "main", "registry_command", "simulate_command"]
+__all__ = ["build_parser", "main", "registry_command", "scenario_command",
+           "simulate_command"]
+
+#: Currency-service registry name -> harness algorithm, for ``--services``.
+_SERVICE_ALGORITHMS = {"ums": Algorithm.UMS_DIRECT, "brk": Algorithm.BRK}
+
+
+def _algorithm_for(name: str) -> str:
+    """Resolve a ``--services`` entry: a service name or an algorithm name."""
+    key = name.strip().lower()
+    if key in _SERVICE_ALGORITHMS:
+        return _SERVICE_ALGORITHMS[key]
+    return Algorithm.validate(key)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -75,6 +102,71 @@ def build_parser() -> argparse.ArgumentParser:
                           help="use the 64-node-cluster cost model instead of Table 1's WAN")
     simulate.add_argument("--seed", type=int, default=2007)
     simulate.add_argument("--json", action="store_true", help="print a JSON summary")
+
+    scenario = subparsers.add_parser(
+        "scenario", help="declarative workload & fault scenarios "
+                         "(list / run / compare)")
+    scenario_subparsers = scenario.add_subparsers(dest="scenario_command",
+                                                  required=True)
+
+    scenario_subparsers.add_parser(
+        "list", help="list the registered scenarios with their descriptions")
+
+    def add_run_parameters(command: argparse.ArgumentParser) -> None:
+        """Simulation knobs shared by ``scenario run`` and ``scenario compare``."""
+        command.add_argument("--peers", type=int, default=None,
+                             help="number of peers")
+        command.add_argument("--replicas", type=int, default=None, help="|Hr|")
+        command.add_argument("--keys", type=int, default=None,
+                             help="number of data items")
+        command.add_argument("--duration", type=float, default=None,
+                             help="simulated seconds")
+        command.add_argument("--queries", type=int, default=None,
+                             help="measured queries per run")
+        command.add_argument("--churn-rate", type=float, default=None,
+                             help="departures per second (default: Table 1 "
+                                  "intensity scaled to the population)")
+        command.add_argument("--update-rate", type=float, default=None,
+                             help="updates per data item per hour (before the "
+                                  "scenario profile's multiplier)")
+        command.add_argument("--consistency", choices=Consistency.ALL,
+                             default=None,
+                             help="per-retrieve freshness contract")
+        command.add_argument("--seed", type=int, default=2007)
+
+    run = scenario_subparsers.add_parser(
+        "run", help="run one scenario and report its metrics")
+    run.add_argument("--scenario", choices=scenario_names(), default=None,
+                     help="registered scenario name")
+    run.add_argument("--spec", default=None, metavar="FILE",
+                     help="replay a run spec recorded with --spec-out "
+                          "(mutually exclusive with --scenario and the "
+                          "parameter flags)")
+    run.add_argument("--spec-out", default=None, metavar="FILE",
+                     help="record the resolved scenario + parameters as a "
+                          "replayable JSON run spec")
+    run.add_argument("--algorithm", choices=Algorithm.ALL, default=None,
+                     help="currency algorithm (default: ums-direct, unless "
+                          "the scenario overrides it)")
+    run.add_argument("--protocol", choices=overlay_names(), default=None,
+                     help="DHT overlay (default: chord, unless the scenario "
+                          "overrides it)")
+    add_run_parameters(run)
+    run.add_argument("--json", action="store_true", help="print a JSON summary")
+
+    compare = scenario_subparsers.add_parser(
+        "compare", help="compare scenarios x overlays x services as "
+                        "per-metric tables")
+    compare.add_argument("--scenarios", default="uniform,hotspot",
+                         help="comma-separated registered scenario names")
+    compare.add_argument("--protocols", default="chord",
+                         help="comma-separated overlay names")
+    compare.add_argument("--services", default="ums,brk",
+                         help="comma-separated currency services (or "
+                              "algorithm names such as ums-indirect)")
+    add_run_parameters(compare)
+    compare.add_argument("--markdown", action="store_true",
+                         help="render the tables as Markdown instead of text")
 
     experiments = subparsers.add_parser(
         "experiments", help="regenerate the paper's tables and figures")
@@ -144,7 +236,189 @@ def registry_command(arguments: argparse.Namespace, *, stream=None) -> int:
     stream.write(f"overlays (repro.dht.registry) : {', '.join(overlay_names())}\n")
     stream.write(f"services (repro.api.services) : {', '.join(service_names())}\n")
     stream.write(f"consistency levels            : {', '.join(Consistency.ALL)}\n")
+    stream.write(f"scenarios (repro scenario)    : {', '.join(scenario_names())}\n")
     return 0
+
+
+#: Default simulation knobs of ``scenario run`` (single, closer look) and
+#: ``scenario compare`` (many runs, so smaller per-run cost), as
+#: :class:`SimulationParameters` fields.
+_SCENARIO_RUN_DEFAULTS = dict(num_peers=400, num_replicas=10, num_keys=20,
+                              duration_s=1800.0, num_queries=40)
+_SCENARIO_COMPARE_DEFAULTS = dict(num_peers=120, num_replicas=5, num_keys=10,
+                                  duration_s=600.0, num_queries=15)
+
+#: CLI flag -> :class:`SimulationParameters` field, for the scenario commands.
+_SCENARIO_FLAG_FIELDS = {
+    "peers": "num_peers", "replicas": "num_replicas", "keys": "num_keys",
+    "duration": "duration_s", "queries": "num_queries",
+    "churn_rate": "churn_rate_per_s", "update_rate": "update_rate_per_hour",
+    "consistency": "consistency",
+}
+
+
+def _explicit_scenario_flags(arguments: argparse.Namespace) -> dict:
+    """The simulation fields the user pinned explicitly on the command line.
+
+    Every scenario parameter flag defaults to ``None``, so a non-``None``
+    value means the user typed it — these beat a scenario spec's
+    ``overrides`` (the caller-wins contract of :func:`run_scenario`).
+    """
+    explicit = {}
+    for flag, field in _SCENARIO_FLAG_FIELDS.items():
+        value = getattr(arguments, flag, None)
+        if value is not None:
+            explicit[field] = value
+    for field in ("algorithm", "protocol"):
+        value = getattr(arguments, field, None)
+        if value is not None:
+            explicit[field] = value
+    return explicit
+
+
+def _resolve_scenario_run(spec: ScenarioSpec, defaults: dict, explicit: dict,
+                          seed: int):
+    """Materialise one run: ``defaults`` < ``spec.overrides`` < ``explicit``.
+
+    Returns ``(spec without overrides, SimulationParameters)`` — the
+    overrides are folded into the parameters, so recording the pair and
+    replaying it cannot re-apply them over an explicitly pinned flag.
+    """
+    merged = dict(update_rate_per_hour=1.0, consistency=Consistency.CURRENT,
+                  algorithm=Algorithm.UMS_DIRECT, protocol="chord", seed=seed)
+    merged.update(defaults)
+    merged.update(spec.overrides)
+    merged.update(explicit)
+    if merged.get("churn_rate_per_s") is None:
+        # Table 1's churn intensity, scaled to the *effective* population and
+        # duration (the same scaling the ``simulate`` sub-command applies).
+        merged.pop("churn_rate_per_s", None)
+        merged["churn_rate_per_s"] = (1.08 * merged["num_peers"]
+                                      / merged["duration_s"])
+    effective_spec = ScenarioSpec(name=spec.name, description=spec.description,
+                                  popularity=spec.popularity,
+                                  arrivals=spec.arrivals, profile=spec.profile,
+                                  faults=spec.faults, overrides={})
+    return effective_spec, SimulationParameters(**merged)
+
+
+def _write_scenario_result(result, *, as_json: bool, stream) -> None:
+    """Render one scenario run (text or JSON) to ``stream``.
+
+    Overlay/consistency are read from ``result.parameters`` — the knobs the
+    run *actually* used, which matters when a scenario spec overrides them.
+    """
+    summary = result.summary()
+    protocol = result.parameters["protocol"]
+    consistency = result.parameters["consistency"]
+    if as_json:
+        payload = {"scenario": result.scenario, "algorithm": result.algorithm,
+                   "protocol": protocol, "consistency": consistency,
+                   "num_peers": result.num_peers,
+                   "num_replicas": result.num_replicas, **summary}
+        stream.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return
+    stream.write(f"scenario             : {result.scenario}\n")
+    stream.write(f"algorithm            : {Algorithm.label(result.algorithm)}\n")
+    stream.write(f"overlay              : {protocol}\n")
+    stream.write(f"consistency          : {consistency}\n")
+    stream.write(f"peers / replicas     : {result.num_peers} / {result.num_replicas}\n")
+    stream.write(f"queries measured     : {result.query_count}\n")
+    stream.write(f"avg response time    : {result.avg_response_time_s:.2f} s\n")
+    stream.write(f"avg messages / query : {result.avg_messages:.1f}\n")
+    stream.write(f"certified current    : {result.currency_rate:.0%}\n")
+    stream.write(f"churn events (fails) : {result.churn_events} ({result.failures})\n")
+    stream.write(f"fault events fired   : {result.fault_events}\n")
+    stream.write(f"updates performed    : {result.updates_performed}\n")
+
+
+def scenario_command(arguments: argparse.Namespace, *, stream=None) -> int:
+    """Run the ``scenario`` sub-commands (``list`` / ``run`` / ``compare``)."""
+    stream = stream if stream is not None else sys.stdout
+
+    if arguments.scenario_command == "list":
+        width = max(len(name) for name in scenario_names())
+        for name in scenario_names():
+            spec = get_scenario(name)
+            stream.write(f"{name.ljust(width)}  {spec.description}\n")
+        return 0
+
+    if arguments.scenario_command == "run":
+        explicit = _explicit_scenario_flags(arguments)
+        if arguments.spec is not None:
+            # A recorded spec replays exactly; any knob flag would silently
+            # lose, so reject the combination outright.
+            if arguments.scenario is not None:
+                raise SystemExit("pass either --scenario or --spec, not both")
+            if explicit:
+                raise SystemExit("--spec replays the recorded parameters "
+                                 "bit-for-bit; drop the parameter flags "
+                                 f"({', '.join(sorted(explicit))}) or re-run "
+                                 "with --scenario to change them")
+            with open(arguments.spec, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            spec = ScenarioSpec.from_dict(payload["scenario"])
+            parameters = SimulationParameters(**payload["parameters"])
+        else:
+            name = arguments.scenario if arguments.scenario is not None else "uniform"
+            spec, parameters = _resolve_scenario_run(
+                get_scenario(name), _SCENARIO_RUN_DEFAULTS, explicit,
+                arguments.seed)
+        if arguments.spec_out is not None:
+            record = {"scenario": spec.to_dict(),
+                      "parameters": parameters.describe()}
+            with open(arguments.spec_out, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        result = run_scenario(spec, parameters)
+        _write_scenario_result(result, as_json=arguments.json, stream=stream)
+        return 0
+
+    if arguments.scenario_command == "compare":
+        scenarios = [name.strip() for name in arguments.scenarios.split(",")
+                     if name.strip()]
+        protocols = [name.strip() for name in arguments.protocols.split(",")
+                     if name.strip()]
+        services = [name.strip() for name in arguments.services.split(",")
+                    if name.strip()]
+        if not scenarios or not protocols or not services:
+            raise SystemExit("compare needs at least one scenario, one "
+                             "protocol and one service")
+        # Validate every axis up front: a typo must fail fast with a CLI
+        # error, not a traceback after half the grid has already run.
+        try:
+            specs = {name: get_scenario(name) for name in scenarios}
+            algorithms = {service: _algorithm_for(service)
+                          for service in services}
+        except ValueError as error:
+            raise SystemExit(str(error)) from error
+        unknown = [name for name in protocols if name not in overlay_names()]
+        if unknown:
+            raise SystemExit(f"unknown protocol(s) {', '.join(unknown)}; "
+                             f"registered overlays: {', '.join(overlay_names())}")
+        explicit = _explicit_scenario_flags(arguments)
+        records = []
+        for scenario_name in scenarios:
+            for service in services:
+                for protocol in protocols:
+                    # The grid axes are explicit by construction: they must
+                    # beat a scenario's own algorithm/protocol overrides.
+                    cell = dict(explicit, algorithm=algorithms[service],
+                                protocol=protocol)
+                    spec, parameters = _resolve_scenario_run(
+                        specs[scenario_name], _SCENARIO_COMPARE_DEFAULTS,
+                        cell, arguments.seed)
+                    result = run_scenario(spec, parameters)
+                    records.append((scenario_name,
+                                    f"{service.lower()}@{protocol}",
+                                    result.summary()))
+        for table in comparison_tables(records):
+            rendered = (table.to_markdown() if arguments.markdown
+                        else table.to_text())
+            stream.write(rendered + "\n\n")
+        return 0
+
+    raise SystemExit(f"unknown scenario command {arguments.scenario_command!r}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -153,6 +427,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     arguments = parser.parse_args(argv)
     if arguments.command == "simulate":
         return simulate_command(arguments)
+    if arguments.command == "scenario":
+        return scenario_command(arguments)
     if arguments.command == "registry":
         return registry_command(arguments)
     if arguments.command == "experiments":

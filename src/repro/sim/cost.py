@@ -56,6 +56,41 @@ class NetworkCostModel:
             raise ValueError("latency must be >= 0 and bandwidth must be > 0")
         if self.rng is None:
             self.rng = random.Random()
+        self._latency_factor = 1.0
+        self._bandwidth_factor = 1.0
+        self._timeout_factor = 1.0
+
+    # ------------------------------------------------------------ degradation
+    def set_degradation(self, *, latency_factor: float = 1.0,
+                        bandwidth_factor: float = 1.0,
+                        timeout_factor: float = 1.0) -> None:
+        """Enter a degraded (lossy) period: scale subsequent delay samples.
+
+        Until :meth:`clear_degradation`, sampled latencies are multiplied by
+        ``latency_factor``, sampled bandwidths by ``bandwidth_factor`` and the
+        failed-peer timeout by ``timeout_factor``.  Sampling still consumes
+        exactly one RNG draw per message, so seeded runs stay aligned with
+        their undegraded twins — only the pricing changes.  Used by the
+        scenario engine's lossy-period fault profile
+        (:class:`repro.simulation.scenarios.faults.LossyPeriod`).
+        """
+        if latency_factor <= 0 or bandwidth_factor <= 0 or timeout_factor <= 0:
+            raise ValueError("degradation factors must be > 0")
+        self._latency_factor = latency_factor
+        self._bandwidth_factor = bandwidth_factor
+        self._timeout_factor = timeout_factor
+
+    def clear_degradation(self) -> None:
+        """Leave the degraded period: restore nominal pricing."""
+        self._latency_factor = 1.0
+        self._bandwidth_factor = 1.0
+        self._timeout_factor = 1.0
+
+    @property
+    def degraded(self) -> bool:
+        """Whether a degradation is currently in effect."""
+        return (self._latency_factor, self._bandwidth_factor,
+                self._timeout_factor) != (1.0, 1.0, 1.0)
 
     # --------------------------------------------------------------- presets
     @classmethod
@@ -80,13 +115,16 @@ class NetworkCostModel:
     # ---------------------------------------------------------------- sampling
     def sample_latency(self) -> float:
         """One per-message latency sample (truncated at a small positive floor)."""
-        return max(1e-4, self.rng.gauss(self.latency_mean_s, self.latency_std_s))
+        sample = max(1e-4, self.rng.gauss(self.latency_mean_s, self.latency_std_s))
+        return sample * self._latency_factor
 
     def sample_bandwidth(self) -> float:
         """One bandwidth sample in bits/second (truncated at 1 kbps)."""
         if self.bandwidth_std_bps <= 0:
-            return self.bandwidth_mean_bps
-        return max(1_000.0, self.rng.gauss(self.bandwidth_mean_bps, self.bandwidth_std_bps))
+            return self.bandwidth_mean_bps * self._bandwidth_factor
+        sample = max(1_000.0, self.rng.gauss(self.bandwidth_mean_bps,
+                                             self.bandwidth_std_bps))
+        return sample * self._bandwidth_factor
 
     # ---------------------------------------------------------------- durations
     def message_delay(self, message: Message) -> float:
@@ -94,7 +132,7 @@ class NetworkCostModel:
         delay = self.sample_latency()
         delay += (message.size_bytes * 8) / self.sample_bandwidth()
         if message.timed_out:
-            delay += self.timeout_s
+            delay += self.timeout_s * self._timeout_factor
         return delay
 
     def duration(self, trace: OperationTrace) -> float:

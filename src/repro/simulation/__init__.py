@@ -4,13 +4,32 @@ The harness wires together the DHT substrate, the UMS/KTS/BRK services, the
 discrete-event engine and the Table 1 workload model (churn, per-key updates,
 uniformly spread queries), and produces per-query response times and message
 counts — the two metrics reported in Figures 6–12.
+
+Beyond the paper's single workload, :mod:`repro.simulation.scenarios` drives
+the same harness with declarative scenarios — skewed/shifting key
+popularity, bursty/diurnal arrivals, application read/write mixes and
+correlated fault profiles — registered by name and replayable from recorded
+specs (``repro scenario run/list/compare`` on the CLI).
 """
 
 from repro.simulation.config import Algorithm, SimulationParameters
 from repro.simulation.churn import ChurnEvent, ChurnProcess
 from repro.simulation.harness import SimulationHarness, run_simulation
 from repro.simulation.results import QueryObservation, RunResult
-from repro.simulation.workload import QuerySchedule, UpdateWorkload, payload_for
+from repro.simulation.scenarios import (
+    Scenario,
+    ScenarioSpec,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+    scenario_names,
+)
+from repro.simulation.workload import (
+    QuerySchedule,
+    ScheduledEvent,
+    UpdateWorkload,
+    payload_for,
+)
 
 __all__ = [
     "Algorithm",
@@ -19,9 +38,16 @@ __all__ = [
     "QueryObservation",
     "QuerySchedule",
     "RunResult",
+    "Scenario",
+    "ScenarioSpec",
+    "ScheduledEvent",
     "SimulationHarness",
     "SimulationParameters",
     "UpdateWorkload",
+    "get_scenario",
     "payload_for",
+    "register_scenario",
+    "run_scenario",
     "run_simulation",
+    "scenario_names",
 ]

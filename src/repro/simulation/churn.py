@@ -24,11 +24,15 @@ __all__ = ["ChurnEvent", "ChurnProcess"]
 
 @dataclass(frozen=True)
 class ChurnEvent:
-    """A record of one executed churn event."""
+    """A record of one executed churn event.
+
+    ``joined_peer`` is ``None`` for uncompensated departures (correlated
+    bursts and partitions fired with ``rejoin=False``).
+    """
 
     time: float
     departed_peer: int
-    joined_peer: int
+    joined_peer: Optional[int]
     failed: bool
 
 
@@ -78,6 +82,52 @@ class ChurnProcess:
         """Stop generating further churn events."""
         if self._process is not None:
             self._process.stop()
+
+    # ------------------------------------------------------ correlated faults
+    def fail_together(self, victims, *, rejoin: bool = True) -> List[ChurnEvent]:
+        """Fail ``victims`` simultaneously (one correlated event batch).
+
+        Unlike the background Poisson departures, the whole batch fails at the
+        *same* simulated instant — replacement joins (when ``rejoin``) only
+        happen after every victim is down, so a batch can take out the
+        timestamping responsible and every replica holder of a key at once.
+        Executed failures are recorded as :class:`ChurnEvent`\\ s (and counted
+        by :attr:`event_count`/:attr:`failure_count`); the ``min_population``
+        floor still applies.
+        """
+        self.network.now = self.sim.now
+        failed: List[int] = []
+        for peer_id in victims:
+            if self.network.size <= self.min_population:
+                break
+            if not self.network.is_alive(peer_id):
+                continue
+            self.network.fail_peer(peer_id)
+            failed.append(peer_id)
+        executed: List[ChurnEvent] = []
+        for peer_id in failed:
+            joined = self.network.join_peer() if rejoin else None
+            executed.append(ChurnEvent(time=self.sim.now, departed_peer=peer_id,
+                                       joined_peer=joined, failed=True))
+        self.events.extend(executed)
+        return executed
+
+    def burst(self, count: int, *, rng: Optional[random.Random] = None,
+              rejoin: bool = True) -> List[ChurnEvent]:
+        """A correlated failure burst: ``count`` random peers fail at once.
+
+        ``rng`` defaults to the process's own stream; fault profiles pass
+        their dedicated stream so bursts never perturb the background churn
+        schedule of a seeded run.
+        """
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        draw = rng if rng is not None else self.rng
+        alive = self.network.alive_peer_ids()
+        budget = max(0, len(alive) - self.min_population)
+        size = min(count, budget)
+        victims = draw.sample(alive, size) if size else []
+        return self.fail_together(victims, rejoin=rejoin)
 
     # ------------------------------------------------------------------ action
     def _churn_once(self) -> None:

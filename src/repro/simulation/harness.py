@@ -42,10 +42,21 @@ __all__ = ["SimulationHarness", "run_simulation"]
 
 
 class SimulationHarness:
-    """Builds and runs one simulation described by :class:`SimulationParameters`."""
+    """Builds and runs one simulation described by :class:`SimulationParameters`.
 
-    def __init__(self, parameters: SimulationParameters) -> None:
+    ``scenario`` (a :class:`repro.simulation.scenarios.Scenario`) replaces
+    the paper's workload with a declarative one: the scenario supplies the
+    update and query schedules (popularity × arrivals × profile) and installs
+    its fault profiles on top of the background churn.  Without one, the run
+    is exactly the Section 5.1 setup described above, with an unchanged RNG
+    draw order — seeded plain runs are bit-for-bit identical to earlier
+    releases.
+    """
+
+    def __init__(self, parameters: SimulationParameters,
+                 scenario=None) -> None:
         self.parameters = parameters
+        self.scenario = scenario
         self._master_rng = random.Random(parameters.seed)
         self.cluster: Optional[Cluster] = None
         self.session: Optional[Session] = None
@@ -130,19 +141,42 @@ class SimulationHarness:
                                   rng=random.Random(self._master_rng.getrandbits(64)),
                                   until=parameters.duration_s)
 
-        # Updates: per-key Poisson processes, materialised as a schedule.
+        # Updates: per-key Poisson processes, materialised as a schedule
+        # (shaped by the scenario's profile/popularity when one is attached).
         update_rng = random.Random(self._master_rng.getrandbits(64))
-        updates = UpdateWorkload(self.keys, parameters.update_rate_per_hour,
-                                 update_rng).schedule(parameters.duration_s)
+        if self.scenario is None:
+            updates = UpdateWorkload(self.keys, parameters.update_rate_per_hour,
+                                     update_rng).schedule(parameters.duration_s)
+        else:
+            updates = self.scenario.update_schedule(
+                self.keys, parameters.update_rate_per_hour,
+                parameters.duration_s, update_rng)
         for event in updates:
             self.sim.schedule(event.time, self._make_update_callback(event.key))
 
-        # Queries: uniformly distributed over the run.
+        # Queries: uniformly distributed over the run (or following the
+        # scenario's arrival and popularity models).
         query_rng = random.Random(self._master_rng.getrandbits(64))
-        queries = QuerySchedule(self.keys, parameters.num_queries,
-                                query_rng).schedule(parameters.duration_s)
+        if self.scenario is None:
+            queries = QuerySchedule(self.keys, parameters.num_queries,
+                                    query_rng).schedule(parameters.duration_s)
+        else:
+            queries = self.scenario.query_schedule(
+                self.keys, parameters.num_queries, parameters.duration_s,
+                query_rng)
         for event in queries:
             self.sim.schedule(event.time, self._make_query_callback(event.key))
+
+        # Fault profiles (correlated bursts, partitions, lossy windows) ride
+        # on a dedicated RNG stream drawn *after* the workload streams, so a
+        # scenario with no faults still matches a plain run's schedules.
+        if self.scenario is not None:
+            fault_rng = random.Random(self._master_rng.getrandbits(64))
+            self.scenario.install_faults(self.sim, network=self.network,
+                                         cost_model=self.cost_model,
+                                         rng=fault_rng,
+                                         duration_s=parameters.duration_s,
+                                         churn=self.churn)
 
         # Optional maintenance / instrumentation processes.
         if parameters.inspection_interval_s > 0 and parameters.algorithm != Algorithm.BRK:
@@ -158,6 +192,9 @@ class SimulationHarness:
         result.updates_performed = sum(self._update_sequence.values()) - len(self.keys)
         result.churn_events = self.churn.event_count
         result.failures = self.churn.failure_count
+        if self.scenario is not None:
+            result.scenario = self.scenario.name
+            result.fault_events = len(self.scenario.fault_log)
         return result
 
     def _inspection_process(self, interval_s: float):

@@ -41,6 +41,12 @@ class RunResult:
     #: ``SimulationParameters.currency_sample_interval_s`` > 0.
     currency_series: Optional[TimeSeries] = None
     parameters: Optional[Dict[str, Any]] = None
+    #: Name of the scenario that drove this run (``None`` for the plain
+    #: Table 1 workload of :class:`~repro.simulation.harness.SimulationHarness`).
+    scenario: Optional[str] = None
+    #: Number of fault-profile events that fired during the run (bursts,
+    #: partitions, lossy-window transitions); 0 without a scenario.
+    fault_events: int = 0
 
     # ------------------------------------------------------------------ record
     def record_query(self, observation: QueryObservation) -> None:
@@ -123,6 +129,7 @@ class RunResult:
             "failures": float(self.failures),
             "inspections": float(self.inspections_performed),
             "counter_corrections": float(self.counter_corrections),
+            "fault_events": float(self.fault_events),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,140 @@
+"""The scenario runtime: built components + the ``run_scenario`` entry point.
+
+:class:`Scenario` turns a declarative
+:class:`~repro.simulation.scenarios.spec.ScenarioSpec` into live model
+objects and exposes the three hooks the
+:class:`~repro.simulation.harness.SimulationHarness` calls: the query
+schedule (arrival model × popularity model), the update schedule (profile ×
+popularity) and fault installation.  :func:`run_scenario` is the one-call
+entry point used by the CLI, the benchmarks and the tests::
+
+    from repro.simulation import SimulationParameters
+    from repro.simulation.scenarios import run_scenario
+
+    result = run_scenario("flashcrowd", SimulationParameters.quick(seed=7),
+                          protocol="kademlia")
+
+Replay guarantee: the schedules and fault firings are pure functions of the
+spec, the parameters and the run seed, so re-running a recorded
+``(spec, parameters)`` pair reproduces the same
+:class:`~repro.simulation.results.RunResult` metrics bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.sim.processes import poisson_arrival_times
+from repro.simulation.config import SimulationParameters
+from repro.simulation.results import RunResult
+from repro.simulation.scenarios.arrivals import build_arrivals
+from repro.simulation.scenarios.faults import build_fault
+from repro.simulation.scenarios.popularity import build_popularity
+from repro.simulation.scenarios.profiles import build_profile
+from repro.simulation.scenarios.spec import ScenarioSpec
+from repro.simulation.workload import ScheduledEvent
+
+__all__ = ["Scenario", "run_scenario"]
+
+
+class Scenario:
+    """A spec's components, built and ready to drive a harness run."""
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+        self.popularity = build_popularity(spec.popularity)
+        self.arrivals = build_arrivals(spec.arrivals)
+        self.profile = build_profile(spec.profile)
+        self.faults = tuple(build_fault(config) for config in spec.faults)
+        #: Fault events fired during the last run (appended by the profiles).
+        self.fault_log: List[Dict[str, Any]] = []
+
+    @property
+    def name(self) -> str:
+        """The spec's registry name."""
+        return self.spec.name
+
+    # ----------------------------------------------------------- scheduling
+    def query_schedule(self, keys: Sequence[Any], num_queries: int,
+                       duration_s: float, rng) -> List[ScheduledEvent]:
+        """The measured queries: arrival times × popularity-chosen keys."""
+        count = self.profile.scaled_queries(num_queries)
+        times = self.arrivals.times(count, duration_s, rng)
+        return [ScheduledEvent(time=time,
+                               key=self.popularity.choose(keys, time / duration_s, rng))
+                for time in times]
+
+    def update_schedule(self, keys: Sequence[Any], rate_per_hour: float,
+                        duration_s: float, rng) -> List[ScheduledEvent]:
+        """Per-key Poisson update schedules, shaped by the workload profile.
+
+        The total update budget is ``len(keys) * rate_per_hour`` scaled by the
+        profile's multiplier; with ``updates_follow_popularity`` it is
+        distributed over keys proportionally to the popularity weights at the
+        start of the run, otherwise uniformly (the paper's model).
+        """
+        total_rate_per_s = (len(keys) * rate_per_hour / 3600.0
+                            * self.profile.update_rate_multiplier)
+        if total_rate_per_s <= 0 or not keys:
+            return []
+        if self.profile.updates_follow_popularity:
+            weights = self.popularity.weights(len(keys), 0.0)
+        else:
+            weights = [1.0 / len(keys)] * len(keys)
+        events: List[ScheduledEvent] = []
+        for key, weight in zip(keys, weights):
+            rate = total_rate_per_s * weight
+            if rate <= 0:
+                continue
+            for time in poisson_arrival_times(rate, duration_s, rng):
+                events.append(ScheduledEvent(time=time, key=key))
+        events.sort(key=lambda event: event.time)
+        return events
+
+    # --------------------------------------------------------------- faults
+    def install_faults(self, sim, *, network, cost_model, rng,
+                       duration_s: float, churn=None) -> None:
+        """Schedule every fault profile on ``sim``; resets the fault log.
+
+        ``churn`` (the run's :class:`~repro.simulation.churn.ChurnProcess`)
+        lets failure-style profiles execute through the churn accounting.
+        """
+        self.fault_log = []
+        for fault in self.faults:
+            fault.install(sim, network=network, cost_model=cost_model, rng=rng,
+                          duration_s=duration_s, log=self.fault_log, churn=churn)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Scenario({self.name!r}, popularity={self.popularity.kind}, "
+                f"arrivals={self.arrivals.kind}, profile={self.profile.name}, "
+                f"faults={[fault.kind for fault in self.faults]})")
+
+
+def run_scenario(scenario: Union[str, ScenarioSpec, Scenario],
+                 parameters: Optional[SimulationParameters] = None,
+                 **overrides) -> RunResult:
+    """Run one scenario and return its :class:`RunResult`.
+
+    ``scenario`` is a registered name, a :class:`ScenarioSpec` or a built
+    :class:`Scenario`.  ``parameters`` defaults to the Table 1 configuration;
+    the spec's ``overrides`` are applied on top of it, and keyword
+    ``overrides`` (e.g. ``protocol="kademlia"``, ``seed=7``) win over both.
+    """
+    # Imported here: the registry registers (and validates) specs at import
+    # time, which builds Scenario objects from this module.
+    from repro.simulation.harness import SimulationHarness
+    from repro.simulation.scenarios.registry import get_scenario
+
+    if isinstance(scenario, str):
+        scenario = Scenario(get_scenario(scenario))
+    elif isinstance(scenario, ScenarioSpec):
+        scenario = Scenario(scenario)
+    base = parameters if parameters is not None else SimulationParameters()
+    merged = dict(scenario.spec.overrides)
+    merged.update(overrides)
+    if merged:
+        base = base.with_overrides(**merged)
+    harness = SimulationHarness(base, scenario=scenario)
+    result = harness.run()
+    result.scenario = scenario.name
+    return result

@@ -14,7 +14,8 @@ from typing import Any, List, Sequence
 
 from repro.sim.processes import poisson_arrival_times
 
-__all__ = ["QuerySchedule", "UpdateWorkload", "default_keys", "payload_for"]
+__all__ = ["QuerySchedule", "ScheduledEvent", "UpdateWorkload", "default_keys",
+           "payload_for"]
 
 
 def default_keys(count: int, prefix: str = "item") -> List[str]:

@@ -100,6 +100,144 @@ class TestSimulateCommand:
         assert "avg response time" in capsys.readouterr().out
 
 
+class TestScenarioCommand:
+    def _run_args(self, *extra):
+        base = ["scenario", "run", "--peers", "80", "--keys", "5",
+                "--duration", "300", "--queries", "6", "--seed", "11"]
+        return cli.build_parser().parse_args(base + list(extra))
+
+    def test_list_shows_at_least_six_registered_scenarios(self):
+        from repro.simulation.scenarios import scenario_names
+        stream = io.StringIO()
+        exit_code = cli.scenario_command(
+            cli.build_parser().parse_args(["scenario", "list"]), stream=stream)
+        output = stream.getvalue()
+        assert exit_code == 0
+        listed = [line.split()[0] for line in output.splitlines() if line.strip()]
+        assert len(listed) >= 6
+        assert set(listed) == set(scenario_names())
+
+    def test_run_reports_the_scenario_metrics(self):
+        stream = io.StringIO()
+        exit_code = cli.scenario_command(
+            self._run_args("--scenario", "hotspot"), stream=stream)
+        output = stream.getvalue()
+        assert exit_code == 0
+        assert "scenario             : hotspot" in output
+        assert "avg response time" in output
+        assert "queries measured     : 6" in output
+
+    def test_run_json_is_parseable_and_tagged(self):
+        stream = io.StringIO()
+        cli.scenario_command(self._run_args("--scenario", "flashcrowd",
+                                            "--protocol", "kademlia", "--json"),
+                             stream=stream)
+        payload = json.loads(stream.getvalue())
+        assert payload["scenario"] == "flashcrowd"
+        assert payload["protocol"] == "kademlia"
+        assert payload["avg_response_time_s"] > 0.0
+
+    def test_run_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["scenario", "run", "--scenario",
+                                           "black-friday"])
+
+    def test_seeded_run_spec_replay_round_trip_is_identical(self, tmp_path):
+        spec_file = tmp_path / "spec.json"
+        recorded = io.StringIO()
+        cli.scenario_command(self._run_args("--scenario", "correlated-failures",
+                                            "--json", "--spec-out",
+                                            str(spec_file)), stream=recorded)
+        replayed = io.StringIO()
+        cli.scenario_command(
+            cli.build_parser().parse_args(["scenario", "run", "--spec",
+                                           str(spec_file), "--json"]),
+            stream=replayed)
+        assert recorded.getvalue() == replayed.getvalue()
+        payload = json.loads(spec_file.read_text())
+        assert payload["scenario"]["name"] == "correlated-failures"
+        assert payload["parameters"]["seed"] == 11
+
+    def test_run_rejects_scenario_and_spec_together(self, tmp_path):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text("{}")
+        with pytest.raises(SystemExit):
+            cli.scenario_command(cli.build_parser().parse_args(
+                ["scenario", "run", "--scenario", "hotspot",
+                 "--spec", str(spec_file)]))
+
+    def test_run_rejects_parameter_flags_alongside_spec(self, tmp_path):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text("{}")
+        with pytest.raises(SystemExit, match="replays the recorded parameters"):
+            cli.scenario_command(cli.build_parser().parse_args(
+                ["scenario", "run", "--spec", str(spec_file),
+                 "--peers", "999"]))
+
+    def test_explicit_flags_beat_scenario_spec_overrides(self):
+        from repro.simulation.scenarios import (ScenarioSpec, register_scenario,
+                                                unregister_scenario)
+        register_scenario(ScenarioSpec(name="pinned-queries",
+                                       overrides={"num_queries": 3,
+                                                  "protocol": "kademlia"}))
+        try:
+            # Without the corresponding flags the spec's overrides apply...
+            stream = io.StringIO()
+            cli.scenario_command(cli.build_parser().parse_args(
+                ["scenario", "run", "--scenario", "pinned-queries",
+                 "--peers", "80", "--keys", "5", "--duration", "300",
+                 "--seed", "11", "--json"]), stream=stream)
+            pinned = json.loads(stream.getvalue())
+            assert pinned["queries"] == 3.0
+            assert pinned["protocol"] == "kademlia"
+            # ...but an explicitly typed flag must win over them.
+            stream = io.StringIO()
+            cli.scenario_command(self._run_args("--scenario", "pinned-queries",
+                                                "--protocol", "chord", "--json"),
+                                 stream=stream)
+            overridden = json.loads(stream.getvalue())
+            assert overridden["queries"] == 6.0  # --queries 6 from _run_args
+            assert overridden["protocol"] == "chord"
+        finally:
+            unregister_scenario("pinned-queries")
+
+    def test_compare_rejects_unknown_names_before_running(self):
+        for bad in (["--scenarios", "hotspo"],
+                    ["--services", "umss"],
+                    ["--protocols", "pastry"]):
+            with pytest.raises(SystemExit):
+                cli.scenario_command(cli.build_parser().parse_args(
+                    ["scenario", "compare"] + bad), stream=io.StringIO())
+
+    def test_compare_emits_one_table_per_metric(self):
+        stream = io.StringIO()
+        exit_code = cli.scenario_command(
+            cli.build_parser().parse_args(
+                ["scenario", "compare", "--scenarios", "hotspot,flashcrowd",
+                 "--protocols", "chord,kademlia", "--services", "ums,brk",
+                 "--peers", "60", "--keys", "5", "--duration", "300",
+                 "--queries", "5", "--replicas", "4", "--seed", "13"]),
+            stream=stream)
+        output = stream.getvalue()
+        assert exit_code == 0
+        for metric in ("currency-rate", "avg-response-time-s", "avg-messages"):
+            assert f"scenario-compare-{metric}" in output
+        for series in ("ums@chord", "ums@kademlia", "brk@chord", "brk@kademlia"):
+            assert series in output
+        assert "hotspot" in output and "flashcrowd" in output
+
+    def test_main_dispatches_to_scenario(self, capsys):
+        exit_code = cli.main(["scenario", "list"])
+        assert exit_code == 0
+        assert "hotspot" in capsys.readouterr().out
+
+    def test_registry_lists_scenarios(self):
+        stream = io.StringIO()
+        cli.registry_command(cli.build_parser().parse_args(["registry"]),
+                             stream=stream)
+        assert "scenarios" in stream.getvalue()
+
+
 class TestExperimentsCommand:
     def test_main_dispatches_to_experiments_runner(self, tmp_path, capsys):
         output = tmp_path / "report.md"

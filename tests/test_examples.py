@@ -17,6 +17,7 @@ FAST_EXAMPLES = [
     "cooperative_auction.py",
     "reservation_management.py",
     "failure_and_recovery.py",
+    "scenario_whatif.py",
 ]
 
 

@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate (stdlib-only stand-in for ``interrogate``).
+
+Walks a package tree, parses every ``*.py`` file with :mod:`ast` and counts
+the *public* documentation surface: the module itself, plus every public
+class, function and method defined at module or class level (names starting
+with ``_`` — including dunders — and bodies nested inside functions are
+skipped).  Coverage is the fraction of those objects carrying a docstring.
+
+The container image deliberately has no third-party docstring tools, so this
+script is the CI gate::
+
+    python tools/check_docstrings.py src/repro --fail-under 99.0
+
+Exit status is 1 when coverage falls below ``--fail-under`` (and the missing
+objects are listed), 0 otherwise.  ``tests/test_docs.py`` runs the same check
+inside the test suite so the pinned threshold is enforced locally too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import pathlib
+import sys
+from typing import Iterator, List, Tuple
+
+__all__ = ["coverage", "iter_public_objects", "main"]
+
+
+def _base_names(class_node: ast.ClassDef) -> List[str]:
+    """The plain names of a class's bases (``pkg.Base`` resolves to ``Base``)."""
+    names: List[str] = []
+    for base in class_node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def iter_public_objects(tree: ast.Module, module_label: str
+                        ) -> Iterator[Tuple[str, bool]]:
+    """Yield ``(qualified name, documented)`` for the module's public surface.
+
+    A method without its own docstring counts as documented when it overrides
+    a documented method of a base class defined in the same module — the same
+    resolution ``help()`` performs through the MRO, so overrides of a
+    documented contract are not flagged as missing documentation.
+    """
+    yield module_label, ast.get_docstring(tree) is not None
+    # First pass: collect classes (any nesting level) and their methods.
+    classes: dict = {}
+    stack: List[Tuple[ast.AST, str]] = [(tree, module_label)]
+    while stack:
+        node, prefix = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(child, (ast.ClassDef, ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                continue
+            if child.name.startswith("_"):
+                continue
+            qualified = f"{prefix}:{child.name}"
+            if isinstance(child, ast.ClassDef):
+                methods = {
+                    member.name: ast.get_docstring(member) is not None
+                    for member in child.body
+                    if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef))
+                }
+                classes[child.name] = (qualified, _base_names(child),
+                                       ast.get_docstring(child) is not None,
+                                       methods)
+                stack.append((child, qualified))
+            elif isinstance(node, ast.Module):
+                # Module-level function; methods are handled with their class.
+                yield qualified, ast.get_docstring(child) is not None
+
+    def inherited(method: str, bases: List[str], seen: frozenset) -> bool:
+        for base in bases:
+            if base in seen or base not in classes:
+                continue
+            _, base_bases, _, base_methods = classes[base]
+            if base_methods.get(method):
+                return True
+            if inherited(method, base_bases, seen | {base}):
+                return True
+        return False
+
+    for name, (qualified, bases, class_documented, methods) in classes.items():
+        yield qualified, class_documented
+        for method, documented in methods.items():
+            if method.startswith("_"):
+                continue
+            yield (f"{qualified}:{method}",
+                   documented or inherited(method, bases, frozenset({name})))
+
+
+def coverage(root: pathlib.Path) -> Tuple[int, int, List[str]]:
+    """``(documented, total, missing)`` over every ``*.py`` file under ``root``."""
+    documented = 0
+    total = 0
+    missing: List[str] = []
+    for path in sorted(root.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for name, has_docstring in iter_public_objects(tree, str(path)):
+            total += 1
+            if has_docstring:
+                documented += 1
+            else:
+                missing.append(name)
+    return documented, total, missing
+
+
+def main(argv=None) -> int:
+    """CLI entry point: report coverage, exit 1 below the threshold."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("root", nargs="?", default="src/repro",
+                        help="package directory to scan (default: src/repro)")
+    parser.add_argument("--fail-under", type=float, default=95.0,
+                        help="minimum coverage percentage (default: 95)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="list every undocumented object")
+    arguments = parser.parse_args(argv)
+
+    root = pathlib.Path(arguments.root)
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+    documented, total, missing = coverage(root)
+    percent = 100.0 * documented / total if total else 100.0
+    print(f"docstring coverage: {documented}/{total} public objects "
+          f"({percent:.1f}%), threshold {arguments.fail_under:.1f}%")
+    if missing and (arguments.verbose or percent < arguments.fail_under):
+        for name in missing:
+            print(f"  missing: {name}")
+    if percent < arguments.fail_under:
+        print(f"FAIL: coverage {percent:.1f}% is below "
+              f"{arguments.fail_under:.1f}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
