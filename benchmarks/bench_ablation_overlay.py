@@ -14,9 +14,11 @@ from repro.dht.registry import overlay_names
 from repro.experiments import figures
 
 
-def test_overlay_ablation(benchmark, bench_scale, bench_seed, record_table):
+def test_overlay_ablation(benchmark, bench_scale, bench_seed,
+                          bench_executor, record_table):
     table = benchmark.pedantic(
-        lambda: figures.ablation_overlay(bench_scale, seed=bench_seed),
+        lambda: figures.ablation_overlay(bench_scale, seed=bench_seed,
+                                         executor=bench_executor),
         rounds=1, iterations=1)
     record_table(table, benchmark)
 

@@ -11,9 +11,11 @@ from __future__ import annotations
 from repro.experiments import figures
 
 
-def test_probe_order_ablation(benchmark, bench_scale, bench_seed, record_table):
+def test_probe_order_ablation(benchmark, bench_scale, bench_seed,
+                              bench_executor, record_table):
     table = benchmark.pedantic(
-        lambda: figures.ablation_probe_order(bench_scale, seed=bench_seed),
+        lambda: figures.ablation_probe_order(bench_scale, seed=bench_seed,
+                                             executor=bench_executor),
         rounds=1, iterations=1)
     record_table(table, benchmark)
 

@@ -10,10 +10,12 @@ from __future__ import annotations
 from repro.experiments import figures
 
 
-def test_stabilization_interval_ablation(benchmark, bench_scale, bench_seed, record_table):
+def test_stabilization_interval_ablation(benchmark, bench_scale, bench_seed,
+                                         bench_executor, record_table):
     intervals = (0.0, 60.0, 600.0)
     table = benchmark.pedantic(
         lambda: figures.ablation_stabilization(bench_scale, seed=bench_seed,
+                                               executor=bench_executor,
                                                intervals=intervals),
         rounds=1, iterations=1)
     record_table(table, benchmark)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from repro.api import Cluster
 from repro.experiments.reporting import ExperimentTable
-from repro.sim.cost import NetworkCostModel
+from repro.simulation.cost import NetworkCostModel
 
 BATCH_SIZES = (8, 16, 32, 64)
 PEERS = 64

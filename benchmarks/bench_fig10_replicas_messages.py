@@ -5,12 +5,13 @@ from __future__ import annotations
 from repro.experiments import figures
 
 
-def test_figure10_messages_vs_replicas(benchmark, bench_scale, bench_seed,
+def test_figure10_messages_vs_replicas(benchmark, bench_scale, bench_seed, bench_executor,
                                        sweep_cache, record_table):
     def run():
         data = sweep_cache.get(("replicas", bench_scale, bench_seed))
         if data is None:
-            data = figures.replica_sweep_results(bench_scale, seed=bench_seed)
+            data = figures.replica_sweep_results(bench_scale, seed=bench_seed,
+                                                 executor=bench_executor)
             sweep_cache[("replicas", bench_scale, bench_seed)] = data
         return figures.figure10_replicas_messages(bench_scale, seed=bench_seed,
                                                   precomputed=data)

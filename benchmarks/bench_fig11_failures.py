@@ -12,9 +12,10 @@ from repro.experiments import figures
 
 
 def test_figure11_response_time_vs_failure_rate(benchmark, bench_scale, bench_seed,
-                                                record_table):
+                                                bench_executor, record_table):
     table = benchmark.pedantic(
-        lambda: figures.figure11_failure_rate(bench_scale, seed=bench_seed),
+        lambda: figures.figure11_failure_rate(bench_scale, seed=bench_seed,
+                                              executor=bench_executor),
         rounds=1, iterations=1)
     record_table(table, benchmark)
 

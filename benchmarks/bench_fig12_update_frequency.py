@@ -11,9 +11,10 @@ from repro.experiments import figures
 
 
 def test_figure12_response_time_vs_update_frequency(benchmark, bench_scale, bench_seed,
-                                                    record_table):
+                                                    bench_executor, record_table):
     table = benchmark.pedantic(
-        lambda: figures.figure12_update_frequency(bench_scale, seed=bench_seed),
+        lambda: figures.figure12_update_frequency(bench_scale, seed=bench_seed,
+                                                  executor=bench_executor),
         rounds=1, iterations=1)
     record_table(table, benchmark)
 

@@ -10,9 +10,11 @@ from __future__ import annotations
 from repro.experiments import figures
 
 
-def test_figure6_cluster_response_time(benchmark, bench_scale, bench_seed, record_table):
+def test_figure6_cluster_response_time(benchmark, bench_scale, bench_seed,
+                                        bench_executor, record_table):
     table = benchmark.pedantic(
-        lambda: figures.figure6_cluster_scaleup(bench_scale, seed=bench_seed),
+        lambda: figures.figure6_cluster_scaleup(bench_scale, seed=bench_seed,
+                                                executor=bench_executor),
         rounds=1, iterations=1)
     record_table(table, benchmark)
 

@@ -15,12 +15,14 @@ from repro.experiments import figures
 
 
 def test_figure7_response_time_vs_peers(benchmark, bench_scale, bench_seed,
-                                        bench_overlays, sweep_cache, record_table):
+                                        bench_overlays, bench_executor,
+                                        sweep_cache, record_table):
     def run():
         tables = {}
         for overlay in bench_overlays:
             data = figures.scaleup_results(bench_scale, seed=bench_seed,
-                                           protocol=overlay)
+                                           protocol=overlay,
+                                           executor=bench_executor)
             sweep_cache[("scaleup", bench_scale, bench_seed, overlay)] = data
             tables[overlay] = figures.figure7_simulated_scaleup(
                 bench_scale, seed=bench_seed, protocol=overlay, precomputed=data)

@@ -13,7 +13,7 @@ from __future__ import annotations
 from repro.experiments import figures
 
 
-def test_figure8_messages_vs_peers(benchmark, bench_scale, bench_seed,
+def test_figure8_messages_vs_peers(benchmark, bench_scale, bench_seed, bench_executor,
                                    bench_overlays, sweep_cache, record_table):
     def run():
         tables = {}
@@ -21,7 +21,8 @@ def test_figure8_messages_vs_peers(benchmark, bench_scale, bench_seed,
             data = sweep_cache.get(("scaleup", bench_scale, bench_seed, overlay))
             if data is None:
                 data = figures.scaleup_results(bench_scale, seed=bench_seed,
-                                               protocol=overlay)
+                                               protocol=overlay,
+                                               executor=bench_executor)
                 sweep_cache[("scaleup", bench_scale, bench_seed, overlay)] = data
             tables[overlay] = figures.figure8_messages_vs_peers(
                 bench_scale, seed=bench_seed, protocol=overlay, precomputed=data)

@@ -11,9 +11,11 @@ from repro.experiments import figures
 
 
 def test_figure9_response_time_vs_replicas(benchmark, bench_scale, bench_seed,
-                                           sweep_cache, record_table):
+                                           bench_executor, sweep_cache,
+                                           record_table):
     def run():
-        data = figures.replica_sweep_results(bench_scale, seed=bench_seed)
+        data = figures.replica_sweep_results(bench_scale, seed=bench_seed,
+                                             executor=bench_executor)
         sweep_cache[("replicas", bench_scale, bench_seed)] = data
         return figures.figure9_replicas_response_time(bench_scale, seed=bench_seed,
                                                       precomputed=data)

@@ -1,10 +1,12 @@
 """Scenario comparison benchmark — the what-if engine beyond the figures.
 
-Runs a scenario × overlay × service grid through
-:func:`repro.simulation.scenarios.run_scenario`, records the per-metric
-comparison tables (the same pivot ``repro scenario compare`` prints) under
-``benchmarks/results/scenario-compare-*.md``, and asserts the qualitative
-claims the scenario gallery in EXPERIMENTS.md documents:
+Materialises a scenario × overlay × service grid as a named
+:class:`repro.execution.RunPlan` and executes it through the shared bench
+executor (``REPRO_BENCH_JOBS`` parallelises it, bit-identically), records
+the per-metric comparison tables (the same pivot ``repro scenario compare``
+prints) under ``benchmarks/results/scenario-compare-*.md`` plus a JSON
+artifact named after the plan, and asserts the qualitative claims the
+scenario gallery in EXPERIMENTS.md documents:
 
 * UMS certifies currency on every scenario, BRK never can;
 * the lossy-network scenario is slower than the uniform baseline on every
@@ -14,9 +16,10 @@ claims the scenario gallery in EXPERIMENTS.md documents:
 
 from __future__ import annotations
 
+from repro.execution import Executor, RunPlan
 from repro.experiments.reporting import comparison_tables
 from repro.simulation import SimulationParameters
-from repro.simulation.scenarios import run_scenario
+from repro.simulation.scenarios import get_scenario, run_scenario
 
 #: Scenario grid: the control, a skew regime, and two fault regimes.
 SCENARIOS = ("uniform", "hotspot", "correlated-failures", "lossy-network")
@@ -32,29 +35,46 @@ SCALE_PARAMETERS = {
 }
 
 
-def run_grid(scale: str, seed: int, overlays) -> list:
-    """One summary record per scenario × service × overlay cell."""
+def grid_plan(scale: str, seed: int, overlays) -> RunPlan:
+    """The scenario × service × overlay grid, as one named run plan."""
     parameters = SCALE_PARAMETERS[scale]
-    records = []
+    plan = RunPlan(name=f"scenario-grid-{scale}")
     for scenario in SCENARIOS:
         for service, algorithm in SERVICES:
             for protocol in overlays:
-                result = run_scenario(
-                    scenario, SimulationParameters(seed=seed, **parameters),
-                    protocol=protocol, algorithm=algorithm)
-                records.append((scenario, f"{service}@{protocol}",
-                                result.summary()))
+                plan.add_scenario(
+                    get_scenario(scenario),
+                    SimulationParameters(seed=seed, **parameters),
+                    protocol=protocol, algorithm=algorithm,
+                    label=f"{scenario}:{service}@{protocol}")
+    return plan
+
+
+def run_grid(plan: RunPlan, executor=None) -> list:
+    """One summary record per scenario × service × overlay cell of ``plan``."""
+    executor = executor if executor is not None else Executor()
+    records = []
+    for point, result in zip(plan, executor.run(plan)):
+        scenario, label = point.label.split(":", 1)
+        records.append((scenario, label, result.summary()))
     return records
 
 
 def test_scenario_comparison_grid(benchmark, bench_scale, bench_seed,
-                                  bench_overlays, record_table):
+                                  bench_overlays, bench_executor,
+                                  record_table, record_plan_json):
+    plan = grid_plan(bench_scale, bench_seed, bench_overlays)
     records = benchmark.pedantic(
-        lambda: run_grid(bench_scale, bench_seed, bench_overlays),
+        lambda: run_grid(plan, executor=bench_executor),
         rounds=1, iterations=1)
     tables = comparison_tables(records)
     for table in tables:
         record_table(table)
+    record_plan_json(
+        plan,
+        {"records": [{"scenario": scenario, "series": label, **summary}
+                     for scenario, label, summary in records]},
+        benchmark)
 
     currency, response_time, messages = tables
     for protocol in bench_overlays:

@@ -12,10 +12,18 @@ Scale selection: set ``REPRO_BENCH_SCALE=paper`` to run the full Table 1
 configuration (2,000–10,000 peers, 3 simulated hours — several minutes of wall
 clock); the default ``quick`` profile preserves the shapes and finishes in
 seconds per figure.
+
+Execution: every grid runs through the unified execution layer
+(:mod:`repro.execution`).  ``REPRO_BENCH_JOBS=N`` fans the sweeps out over a
+process pool (bit-identical results), ``REPRO_BENCH_CACHE_DIR=...`` caches
+executed points on disk, and JSON artifacts are named after the plan that
+produced them (``<plan>-<hash12>.json``), so the seed and the output path are
+both functions of the plan — not re-derived per benchmark file.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -63,6 +71,28 @@ def bench_overlays() -> tuple:
 
 
 @pytest.fixture(scope="session")
+def bench_jobs() -> int:
+    """Worker processes per sweep: ``REPRO_BENCH_JOBS`` (default: serial)."""
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    if jobs < 1:
+        raise ValueError(f"REPRO_BENCH_JOBS must be >= 1, got {jobs}")
+    return jobs
+
+
+@pytest.fixture(scope="session")
+def bench_executor(bench_jobs):
+    """The shared :class:`repro.execution.Executor` driving every bench grid.
+
+    ``REPRO_BENCH_CACHE_DIR`` enables the on-disk run cache (skip-if-cached
+    across benchmark sessions); without it the executor only parallelises.
+    """
+    from repro.execution import Executor
+
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR") or None
+    return Executor(bench_jobs, cache_dir=cache_dir)
+
+
+@pytest.fixture(scope="session")
 def sweep_cache() -> dict:
     """Session-wide cache of shared sweeps (Figures 7/8 and 9/10)."""
     return _SWEEP_CACHE
@@ -92,5 +122,29 @@ def record_table(results_dir):
         print()
         print(text)
         return text
+
+    return _record
+
+
+@pytest.fixture
+def record_plan_json(results_dir):
+    """Write a JSON artifact of a named plan: ``<plan.name>-<hash12>.json``.
+
+    The file embeds the plan manifest (name, plan hash, per-point seeds and
+    content hashes), making the artifact a reproducible function of the grid
+    that produced it — re-running the same plan overwrites the same file,
+    changing the grid produces a distinguishable new one.
+    """
+    from repro.execution import plan_artifact_path
+
+    def _record(plan, payload, benchmark=None):
+        path = plan_artifact_path(results_dir, plan)
+        record = {"plan": plan.manifest(), **payload}
+        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        if benchmark is not None:
+            benchmark.extra_info["plan"] = plan.name
+            benchmark.extra_info["plan_hash"] = plan.plan_hash
+        return path
 
     return _record

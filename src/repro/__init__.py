@@ -7,7 +7,8 @@ The package provides:
   currency-service registry — in :mod:`repro.api`;
 * a simulated DHT substrate (Chord, CAN and Kademlia overlays, replica storage, churn,
   message accounting) in :mod:`repro.dht`;
-* a discrete-event simulation engine and network cost models in :mod:`repro.sim`;
+* a discrete-event simulation engine and network cost models in
+  :mod:`repro.simulation` (``engine`` / ``cost`` / ``metrics`` / ``processes``);
 * the paper's contribution — the Update Management Service (UMS) and the
   Key-based Timestamping Service (KTS) — plus the BRICKS baseline (BRK) in
   :mod:`repro.core`;
@@ -16,6 +17,9 @@ The package provides:
   plus the declarative scenario engine (skewed/bursty workloads, correlated
   fault profiles, record/replay) in :mod:`repro.simulation.scenarios`;
 * per-figure experiment generators in :mod:`repro.experiments`;
+* the unified execution layer — serialisable :class:`~repro.execution.RunPlan`
+  grids, the parallel :class:`~repro.execution.Executor` and the on-disk run
+  cache — in :mod:`repro.execution`;
 * example applications (agenda, auction, reservation management) in
   :mod:`repro.apps`.
 
@@ -44,9 +48,11 @@ from repro.core import (
     build_service_stack,
 )
 from repro.dht import CanSpace, ChordRing, DHTNetwork, HashFamily
-from repro.sim import NetworkCostModel, Simulator
+from repro.execution import Executor, RunPlan
+from repro.simulation.cost import NetworkCostModel
+from repro.simulation.engine import Simulator
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BricksService",
@@ -57,12 +63,14 @@ __all__ = [
     "CounterInitialization",
     "CurrencyService",
     "DHTNetwork",
+    "Executor",
     "HashFamily",
     "InsertResult",
     "KeyBasedTimestampService",
     "NetworkCostModel",
     "ReplicationScheme",
     "RetrieveResult",
+    "RunPlan",
     "ServiceStack",
     "Session",
     "Simulator",

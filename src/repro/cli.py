@@ -25,8 +25,14 @@ Examples
     python -m repro scenario list
     python -m repro scenario run --scenario flashcrowd --protocol kademlia
     python -m repro scenario compare --scenarios hotspot,flashcrowd \
-        --protocols chord,kademlia --services ums,brk
+        --protocols chord,kademlia --services ums,brk --jobs 4
     python -m repro experiments --scale quick --output results.md
+    python -m repro experiments --scale paper --jobs 4 --cache-dir .repro-cache
+
+``scenario compare`` and ``experiments`` execute their grids through the
+unified execution layer (:mod:`repro.execution`): ``--jobs N`` runs the grid
+on a process pool with bit-identical results, ``--cache-dir`` caches and
+skips already-executed points (``--no-cache`` forces re-execution).
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ from typing import List, Optional
 from repro.api.results import Consistency
 from repro.api.services import service_names
 from repro.dht.registry import overlay_names
+from repro.execution import Executor, RunPlan
 from repro.experiments import runner as experiments_runner
 from repro.experiments.reporting import comparison_tables
 from repro.simulation.config import Algorithm, SimulationParameters
@@ -167,6 +174,15 @@ def build_parser() -> argparse.ArgumentParser:
     add_run_parameters(compare)
     compare.add_argument("--markdown", action="store_true",
                          help="render the tables as Markdown instead of text")
+    compare.add_argument("--jobs", type=int, default=None,
+                         help="worker processes for the comparison grid "
+                              "(default: serial, or REPRO_EXECUTOR_JOBS); "
+                              "results are bit-identical to a serial run")
+    compare.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="on-disk run cache: grid cells already executed "
+                              "under DIR are skipped")
+    compare.add_argument("--no-cache", action="store_true",
+                         help="re-execute every cell even when cached")
 
     experiments = subparsers.add_parser(
         "experiments", help="regenerate the paper's tables and figures")
@@ -177,6 +193,13 @@ def build_parser() -> argparse.ArgumentParser:
                                   "probe-order ablation")
     experiments.add_argument("--output", default=None)
     experiments.add_argument("--no-ablations", action="store_true")
+    experiments.add_argument("--jobs", type=int, default=None,
+                             help="worker processes per sweep (bit-identical "
+                                  "to a serial run)")
+    experiments.add_argument("--cache-dir", default=None, metavar="DIR",
+                             help="on-disk run cache for the sweeps")
+    experiments.add_argument("--no-cache", action="store_true",
+                             help="re-execute cached points (refreshing them)")
 
     subparsers.add_parser(
         "registry", help="list the registered DHT overlays and currency services")
@@ -397,7 +420,10 @@ def scenario_command(arguments: argparse.Namespace, *, stream=None) -> int:
             raise SystemExit(f"unknown protocol(s) {', '.join(unknown)}; "
                              f"registered overlays: {', '.join(overlay_names())}")
         explicit = _explicit_scenario_flags(arguments)
-        records = []
+        # The whole grid is one run plan executed by the unified execution
+        # layer: --jobs parallelises it, --cache-dir skips executed cells.
+        plan = RunPlan(name="scenario-compare")
+        cells = []
         for scenario_name in scenarios:
             for service in services:
                 for protocol in protocols:
@@ -408,10 +434,15 @@ def scenario_command(arguments: argparse.Namespace, *, stream=None) -> int:
                     spec, parameters = _resolve_scenario_run(
                         specs[scenario_name], _SCENARIO_COMPARE_DEFAULTS,
                         cell, arguments.seed)
-                    result = run_scenario(spec, parameters)
-                    records.append((scenario_name,
-                                    f"{service.lower()}@{protocol}",
-                                    result.summary()))
+                    label = f"{service.lower()}@{protocol}"
+                    plan.add(parameters, scenario=spec,
+                             label=f"{scenario_name}:{label}")
+                    cells.append((scenario_name, label))
+        executor = Executor(arguments.jobs, cache_dir=arguments.cache_dir,
+                            use_cache=not arguments.no_cache)
+        results = executor.run(plan)
+        records = [(scenario_name, label, result.summary())
+                   for (scenario_name, label), result in zip(cells, results)]
         for table in comparison_tables(records):
             rendered = (table.to_markdown() if arguments.markdown
                         else table.to_text())
@@ -438,6 +469,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             runner_args += ["--output", arguments.output]
         if arguments.no_ablations:
             runner_args.append("--no-ablations")
+        if arguments.jobs is not None:
+            runner_args += ["--jobs", str(arguments.jobs)]
+        if arguments.cache_dir is not None:
+            runner_args += ["--cache-dir", arguments.cache_dir]
+        if arguments.no_cache:
+            runner_args.append("--no-cache")
         return experiments_runner.main(runner_args)
     parser.error(f"unknown command {arguments.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

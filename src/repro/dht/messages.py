@@ -11,7 +11,7 @@ The paper's evaluation reports two quantities for every algorithm:
 Rather than duplicating the UMS/KTS/BRK algorithms for an "analytical" and an
 "event-driven" mode, every public operation of the services records the exact
 sequence of messages it caused into an :class:`OperationTrace`.  A cost model
-(:mod:`repro.sim.cost`) then converts a trace into a duration, and the
+(:mod:`repro.simulation.cost`) then converts a trace into a duration, and the
 simulation harness schedules the completion of the operation accordingly.
 """
 

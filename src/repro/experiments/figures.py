@@ -10,7 +10,12 @@ accepts a ``scale`` argument:
 * ``"paper"`` — the full Table 1 scale (up to 10,000 peers, 3 simulated
   hours), matching the parameter ranges of the original figures.
 
-All functions are deterministic for a given ``seed``.
+All functions are deterministic for a given ``seed``.  Every sweep runs
+through the unified execution layer: the grid is materialised as a
+:class:`~repro.execution.RunPlan` and executed by an
+:class:`~repro.execution.Executor` — pass ``executor=Executor(jobs=4,
+cache_dir=...)`` to any generator to parallelise and cache the runs
+(bit-identical to the default serial executor for a fixed seed).
 """
 
 from __future__ import annotations
@@ -20,9 +25,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.api.results import Consistency
 from repro.core import analysis
 from repro.dht.registry import overlay_names
+from repro.execution import Executor, RunPlan
 from repro.experiments.reporting import ExperimentTable
 from repro.simulation.config import Algorithm, SimulationParameters
-from repro.simulation.harness import run_simulation
 from repro.simulation.results import RunResult
 
 __all__ = [
@@ -120,14 +125,22 @@ def _metric(result: RunResult, metric: str) -> float:
     raise ValueError(f"unknown metric {metric!r}")
 
 
+def _executor(executor: Optional[Executor]) -> Executor:
+    """The given executor, or a fresh default one (serial unless
+    ``REPRO_EXECUTOR_JOBS`` says otherwise)."""
+    return executor if executor is not None else Executor()
+
+
 def _run_sweep(x_values: Sequence, parameters_for: Callable[[object, str], SimulationParameters],
-               algorithms: Sequence[str]) -> Dict[Tuple[object, str], RunResult]:
-    """Run every (x, algorithm) combination and return the results."""
-    results: Dict[Tuple[object, str], RunResult] = {}
-    for x in x_values:
-        for algorithm in algorithms:
-            results[(x, algorithm)] = run_simulation(parameters_for(x, algorithm))
-    return results
+               algorithms: Sequence[str], *, executor: Optional[Executor] = None,
+               name: str = "sweep") -> Dict[Tuple[object, str], RunResult]:
+    """Run every (x, algorithm) combination through the execution layer."""
+    plan = RunPlan(name=name)
+    order = [(x, algorithm) for x in x_values for algorithm in algorithms]
+    for x, algorithm in order:
+        plan.add(parameters_for(x, algorithm), label=f"{x}/{algorithm}")
+    results = _executor(executor).run(plan)
+    return dict(zip(order, results))
 
 
 def _table_from_results(experiment_id: str, title: str, x_label: str,
@@ -197,7 +210,8 @@ def expected_retrievals_table(pt_values: Sequence[float] = (0.1, 0.2, 0.35, 0.5,
 # ------------------------------------------------------------------- Figure 6
 def figure6_cluster_scaleup(scale: str = "quick", *, seed: int = 2007,
                             protocol: str = "chord",
-                            metric: str = "response_time") -> ExperimentTable:
+                            metric: str = "response_time",
+                            executor: Optional[Executor] = None) -> ExperimentTable:
     """Figure 6: response time vs number of peers on the 64-node cluster."""
     profile = _profile(scale)
     peer_counts = list(profile["cluster_peer_counts"])
@@ -209,7 +223,9 @@ def figure6_cluster_scaleup(scale: str = "quick", *, seed: int = 2007,
             num_queries=int(profile["num_queries"]),
             churn_rate_per_s=_churn_rate(profile, num_peers))
 
-    results = _run_sweep(peer_counts, parameters_for, algorithms)
+    results = _run_sweep(peer_counts, parameters_for, algorithms,
+                         executor=executor,
+                         name=_experiment_id("figure-6", protocol))
     return _table_from_results(
         _experiment_id("figure-6", protocol),
         f"Response time vs number of peers (cluster, {protocol})", "peers",
@@ -219,7 +235,8 @@ def figure6_cluster_scaleup(scale: str = "quick", *, seed: int = 2007,
 
 
 # --------------------------------------------------------------- Figures 7 & 8
-def scaleup_results(scale: str = "quick", *, seed: int = 2007, protocol: str = "chord"
+def scaleup_results(scale: str = "quick", *, seed: int = 2007, protocol: str = "chord",
+                    executor: Optional[Executor] = None
                     ) -> Tuple[List[int], List[str], Dict[Tuple[object, str], RunResult]]:
     """The shared sweep behind Figures 7 and 8 (response time & messages vs peers).
 
@@ -238,16 +255,19 @@ def scaleup_results(scale: str = "quick", *, seed: int = 2007, protocol: str = "
             num_queries=int(profile["num_queries"]),
             churn_rate_per_s=_churn_rate(profile, num_peers))
 
-    return peer_counts, algorithms, _run_sweep(peer_counts, parameters_for, algorithms)
+    return peer_counts, algorithms, _run_sweep(
+        peer_counts, parameters_for, algorithms, executor=executor,
+        name=_experiment_id("figure-7-8", protocol))
 
 
 def figure7_simulated_scaleup(scale: str = "quick", *, seed: int = 2007,
-                              protocol: str = "chord",
-                              precomputed=None) -> ExperimentTable:
+                              protocol: str = "chord", precomputed=None,
+                              executor: Optional[Executor] = None) -> ExperimentTable:
     """Figure 7: response time vs number of peers (wide-area simulation)."""
     peer_counts, algorithms, results = (precomputed or
                                         scaleup_results(scale, seed=seed,
-                                                        protocol=protocol))
+                                                        protocol=protocol,
+                                                        executor=executor))
     return _table_from_results(
         _experiment_id("figure-7", protocol),
         f"Response time vs number of peers (simulation, {protocol})", "peers",
@@ -256,12 +276,13 @@ def figure7_simulated_scaleup(scale: str = "quick", *, seed: int = 2007,
 
 
 def figure8_messages_vs_peers(scale: str = "quick", *, seed: int = 2007,
-                              protocol: str = "chord",
-                              precomputed=None) -> ExperimentTable:
+                              protocol: str = "chord", precomputed=None,
+                              executor: Optional[Executor] = None) -> ExperimentTable:
     """Figure 8: communication cost (total messages) vs number of peers."""
     peer_counts, algorithms, results = (precomputed or
                                         scaleup_results(scale, seed=seed,
-                                                        protocol=protocol))
+                                                        protocol=protocol,
+                                                        executor=executor))
     return _table_from_results(
         _experiment_id("figure-8", protocol),
         f"Communication cost vs number of peers ({protocol})", "peers",
@@ -272,7 +293,8 @@ def figure8_messages_vs_peers(scale: str = "quick", *, seed: int = 2007,
 
 # -------------------------------------------------------------- Figures 9 & 10
 def replica_sweep_results(scale: str = "quick", *, seed: int = 2007,
-                          protocol: str = "chord"
+                          protocol: str = "chord",
+                          executor: Optional[Executor] = None
                           ) -> Tuple[List[int], List[str], Dict[Tuple[object, str], RunResult]]:
     """The shared sweep behind Figures 9 and 10 (|Hr| sweep at the base population)."""
     profile = _profile(scale)
@@ -288,16 +310,19 @@ def replica_sweep_results(scale: str = "quick", *, seed: int = 2007,
             num_queries=int(profile["num_queries"]),
             churn_rate_per_s=_churn_rate(profile, int(profile["base_peers"])))
 
-    return replica_counts, algorithms, _run_sweep(replica_counts, parameters_for, algorithms)
+    return replica_counts, algorithms, _run_sweep(
+        replica_counts, parameters_for, algorithms, executor=executor,
+        name=_experiment_id("figure-9-10", protocol))
 
 
 def figure9_replicas_response_time(scale: str = "quick", *, seed: int = 2007,
-                                   protocol: str = "chord",
-                                   precomputed=None) -> ExperimentTable:
+                                   protocol: str = "chord", precomputed=None,
+                                   executor: Optional[Executor] = None) -> ExperimentTable:
     """Figure 9: response time vs number of replicas (|Hr| from 5 to 40)."""
     replica_counts, algorithms, results = (precomputed or
                                            replica_sweep_results(scale, seed=seed,
-                                                                 protocol=protocol))
+                                                                 protocol=protocol,
+                                                                 executor=executor))
     return _table_from_results(
         _experiment_id("figure-9", protocol),
         f"Response time vs number of replicas ({protocol})", "replicas",
@@ -307,12 +332,13 @@ def figure9_replicas_response_time(scale: str = "quick", *, seed: int = 2007,
 
 
 def figure10_replicas_messages(scale: str = "quick", *, seed: int = 2007,
-                               protocol: str = "chord",
-                               precomputed=None) -> ExperimentTable:
+                               protocol: str = "chord", precomputed=None,
+                               executor: Optional[Executor] = None) -> ExperimentTable:
     """Figure 10: communication cost vs number of replicas."""
     replica_counts, algorithms, results = (precomputed or
                                            replica_sweep_results(scale, seed=seed,
-                                                                 protocol=protocol))
+                                                                 protocol=protocol,
+                                                                 executor=executor))
     return _table_from_results(
         _experiment_id("figure-10", protocol),
         f"Communication cost vs number of replicas ({protocol})", "replicas",
@@ -323,7 +349,8 @@ def figure10_replicas_messages(scale: str = "quick", *, seed: int = 2007,
 # ------------------------------------------------------------------- Figure 11
 def figure11_failure_rate(scale: str = "quick", *, seed: int = 2007,
                           protocol: str = "chord",
-                          metric: str = "response_time") -> ExperimentTable:
+                          metric: str = "response_time",
+                          executor: Optional[Executor] = None) -> ExperimentTable:
     """Figure 11: response time vs failure rate (percentage of departures that fail)."""
     profile = _profile(scale)
     failure_rates = list(profile["failure_rates_percent"])
@@ -338,7 +365,9 @@ def figure11_failure_rate(scale: str = "quick", *, seed: int = 2007,
             num_queries=int(profile["num_queries"]),
             churn_rate_per_s=_churn_rate(profile, int(profile["base_peers"])))
 
-    results = _run_sweep(failure_rates, parameters_for, algorithms)
+    results = _run_sweep(failure_rates, parameters_for, algorithms,
+                         executor=executor,
+                         name=_experiment_id("figure-11", protocol))
     return _table_from_results(
         _experiment_id("figure-11", protocol),
         f"Response time vs failure rate ({protocol})", "failure rate (%)",
@@ -350,7 +379,8 @@ def figure11_failure_rate(scale: str = "quick", *, seed: int = 2007,
 # ------------------------------------------------------------------- Figure 12
 def figure12_update_frequency(scale: str = "quick", *, seed: int = 2007,
                               protocol: str = "chord",
-                              metric: str = "response_time") -> ExperimentTable:
+                              metric: str = "response_time",
+                              executor: Optional[Executor] = None) -> ExperimentTable:
     """Figure 12: response time vs update frequency (updates per hour, UMS only)."""
     profile = _profile(scale)
     update_rates = list(profile["update_rates_per_hour"])
@@ -365,7 +395,9 @@ def figure12_update_frequency(scale: str = "quick", *, seed: int = 2007,
             num_queries=int(profile["num_queries"]),
             churn_rate_per_s=_churn_rate(profile, int(profile["base_peers"])))
 
-    results = _run_sweep(update_rates, parameters_for, algorithms)
+    results = _run_sweep(update_rates, parameters_for, algorithms,
+                         executor=executor,
+                         name=_experiment_id("figure-12", protocol))
     return _table_from_results(
         _experiment_id("figure-12", protocol),
         f"Response time vs frequency of updates ({protocol})", "updates/hour",
@@ -376,7 +408,8 @@ def figure12_update_frequency(scale: str = "quick", *, seed: int = 2007,
 
 # ------------------------------------------------------------------- Ablations
 def ablation_probe_order(scale: str = "quick", *, seed: int = 2007,
-                         protocol: str = "chord") -> ExperimentTable:
+                         protocol: str = "chord",
+                         executor: Optional[Executor] = None) -> ExperimentTable:
     """Ablation: random vs fixed replica probe order in UMS.retrieve."""
     profile = _profile(scale)
     orders = ["random", "fixed"]
@@ -385,14 +418,16 @@ def ablation_probe_order(scale: str = "quick", *, seed: int = 2007,
         title=f"UMS probe order ablation ({protocol})",
         x_label="probe order", series=["response time (s)", "messages", "replicas inspected"],
         notes="Random order matches the geometric analysis of Section 3.3.")
+    plan = RunPlan(name=table.experiment_id)
     for order in orders:
-        parameters = SimulationParameters.table1(
+        plan.add(SimulationParameters.table1(
             num_peers=int(profile["base_peers"]), algorithm=Algorithm.UMS_DIRECT,
             probe_order=order, seed=seed, protocol=protocol,
             num_keys=int(profile["num_keys"]),
             duration_s=float(profile["duration_s"]), num_queries=int(profile["num_queries"]),
-            churn_rate_per_s=_churn_rate(profile, int(profile["base_peers"])))
-        result = run_simulation(parameters)
+            churn_rate_per_s=_churn_rate(profile, int(profile["base_peers"]))),
+            label=order)
+    for order, result in zip(orders, _executor(executor).run(plan)):
         table.add_row(order, {"response time (s)": result.avg_response_time_s,
                               "messages": result.avg_messages,
                               "replicas inspected": result.avg_replicas_inspected})
@@ -400,7 +435,8 @@ def ablation_probe_order(scale: str = "quick", *, seed: int = 2007,
 
 
 def ablation_stabilization(scale: str = "quick", *, seed: int = 2007,
-                           intervals: Sequence[float] = (0.0, 30.0, 120.0, 600.0)
+                           intervals: Sequence[float] = (0.0, 30.0, 120.0, 600.0),
+                           executor: Optional[Executor] = None
                            ) -> ExperimentTable:
     """Ablation: Chord finger-table stabilisation interval under the default churn."""
     profile = _profile(scale)
@@ -409,21 +445,24 @@ def ablation_stabilization(scale: str = "quick", *, seed: int = 2007,
         x_label="stabilisation interval (s)", series=["response time (s)", "messages"],
         notes="Longer intervals leave more stale fingers after failures, inflating "
               "routing retries and timeouts (the mechanism behind Figure 11).")
+    plan = RunPlan(name=table.experiment_id)
     for interval in intervals:
-        parameters = SimulationParameters.table1(
+        plan.add(SimulationParameters.table1(
             num_peers=int(profile["base_peers"]), algorithm=Algorithm.UMS_DIRECT,
             stabilization_interval_s=interval, failure_rate=0.5, seed=seed,
             num_keys=int(profile["num_keys"]), duration_s=float(profile["duration_s"]),
             num_queries=int(profile["num_queries"]),
-            churn_rate_per_s=_churn_rate(profile, int(profile["base_peers"])))
-        result = run_simulation(parameters)
+            churn_rate_per_s=_churn_rate(profile, int(profile["base_peers"]))),
+            label=str(interval))
+    for interval, result in zip(intervals, _executor(executor).run(plan)):
         table.add_row(interval, {"response time (s)": result.avg_response_time_s,
                                  "messages": result.avg_messages})
     return table
 
 
 def ablation_consistency(scale: str = "quick", *, seed: int = 2007,
-                         protocol: str = "chord") -> ExperimentTable:
+                         protocol: str = "chord",
+                         executor: Optional[Executor] = None) -> ExperimentTable:
     """Ablation: the per-retrieve consistency levels of the client API.
 
     Runs the identical UMS-Direct workload with the queries issued at each
@@ -441,15 +480,17 @@ def ablation_consistency(scale: str = "quick", *, seed: int = 2007,
         notes="UMS-Direct; 'current' is the paper's Figure 2 retrieval, 'any' a "
               "first-replica read without the KTS lookup, 'best-effort' a "
               "bounded-probe read returning the freshest replica found.")
+    plan = RunPlan(name=table.experiment_id)
     for level in Consistency.ALL:
-        parameters = SimulationParameters.table1(
+        plan.add(SimulationParameters.table1(
             num_peers=int(profile["base_peers"]), algorithm=Algorithm.UMS_DIRECT,
             consistency=level, seed=seed, protocol=protocol,
             num_keys=int(profile["num_keys"]),
             duration_s=float(profile["duration_s"]),
             num_queries=int(profile["num_queries"]),
-            churn_rate_per_s=_churn_rate(profile, int(profile["base_peers"])))
-        result = run_simulation(parameters)
+            churn_rate_per_s=_churn_rate(profile, int(profile["base_peers"]))),
+            label=level)
+    for level, result in zip(Consistency.ALL, _executor(executor).run(plan)):
         table.add_row(level, {"response time (s)": result.avg_response_time_s,
                               "messages": result.avg_messages,
                               "replicas inspected": result.avg_replicas_inspected,
@@ -458,7 +499,8 @@ def ablation_consistency(scale: str = "quick", *, seed: int = 2007,
 
 
 def ablation_overlay(scale: str = "quick", *, seed: int = 2007,
-                     overlays: Optional[Sequence[str]] = None) -> ExperimentTable:
+                     overlays: Optional[Sequence[str]] = None,
+                     executor: Optional[Executor] = None) -> ExperimentTable:
     """Ablation: every registered overlay under an identical UMS workload.
 
     By default the comparison covers every overlay in
@@ -478,11 +520,12 @@ def ablation_overlay(scale: str = "quick", *, seed: int = 2007,
         notes=f"UMS-Direct over {num_peers} peers; the routing cost differs "
               "(O(log n) for Chord/Kademlia, O(n^1/d) for CAN) but the currency "
               "guarantees are identical on every overlay.")
+    plan = RunPlan(name=table.experiment_id)
     for protocol in overlays:
-        parameters = SimulationParameters.quick(
+        plan.add(SimulationParameters.quick(
             num_peers=num_peers, algorithm=Algorithm.UMS_DIRECT, protocol=protocol,
-            seed=seed, num_queries=int(profile["num_queries"]))
-        result = run_simulation(parameters)
+            seed=seed, num_queries=int(profile["num_queries"])), label=protocol)
+    for protocol, result in zip(overlays, _executor(executor).run(plan)):
         table.add_row(protocol, {"response time (s)": result.avg_response_time_s,
                                  "messages": result.avg_messages,
                                  "currency rate": result.currency_rate})

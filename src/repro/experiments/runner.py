@@ -4,6 +4,13 @@ Usage::
 
     python -m repro.experiments.runner --scale quick
     python -m repro.experiments.runner --scale paper --output results.md
+    python -m repro.experiments.runner --scale paper --jobs 4 --cache-dir .repro-cache
+
+All sweeps execute through the unified execution layer
+(:mod:`repro.execution`): ``--jobs N`` fans the grid out over a process pool
+(bit-identical results to a serial run for the same seed) and ``--cache-dir``
+skips any parameter point that was already executed and cached there
+(``--no-cache`` forces re-execution while refreshing the cache).
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ import time
 from typing import List, Optional, TextIO
 
 from repro.dht.registry import overlay_names
+from repro.execution import Executor
 from repro.experiments import figures
 from repro.experiments.reporting import ExperimentTable
 
@@ -22,7 +30,8 @@ __all__ = ["run_all_experiments", "write_experiments_report", "main"]
 
 def run_all_experiments(scale: str = "quick", *, seed: int = 2007,
                         protocol: str = "chord",
-                        include_ablations: bool = True) -> List[ExperimentTable]:
+                        include_ablations: bool = True,
+                        executor: Optional[Executor] = None) -> List[ExperimentTable]:
     """Regenerate every table/figure of the paper (plus the ablations).
 
     The shared sweeps behind Figures 7/8 and 9/10 are each run once and reused
@@ -31,31 +40,42 @@ def run_all_experiments(scale: str = "quick", *, seed: int = 2007,
     Figures 6-12 and the probe-order ablation, while the stabilisation
     ablation stays on Chord (it ablates a Chord-specific knob) and the
     overlay ablation compares every registered overlay by design.
+
+    ``executor`` runs every sweep (one :class:`~repro.execution.RunPlan` per
+    experiment); the default is a serial :class:`~repro.execution.Executor`.
     """
     tables: List[ExperimentTable] = [
         figures.table1_parameters(scale),
         figures.expected_retrievals_table(),
-        figures.figure6_cluster_scaleup(scale, seed=seed, protocol=protocol),
+        figures.figure6_cluster_scaleup(scale, seed=seed, protocol=protocol,
+                                        executor=executor),
     ]
-    scaleup = figures.scaleup_results(scale, seed=seed, protocol=protocol)
+    scaleup = figures.scaleup_results(scale, seed=seed, protocol=protocol,
+                                      executor=executor)
     tables.append(figures.figure7_simulated_scaleup(scale, seed=seed, protocol=protocol,
                                                     precomputed=scaleup))
     tables.append(figures.figure8_messages_vs_peers(scale, seed=seed, protocol=protocol,
                                                     precomputed=scaleup))
-    replica_sweep = figures.replica_sweep_results(scale, seed=seed, protocol=protocol)
+    replica_sweep = figures.replica_sweep_results(scale, seed=seed, protocol=protocol,
+                                                  executor=executor)
     tables.append(figures.figure9_replicas_response_time(scale, seed=seed,
                                                          protocol=protocol,
                                                          precomputed=replica_sweep))
     tables.append(figures.figure10_replicas_messages(scale, seed=seed,
                                                      protocol=protocol,
                                                      precomputed=replica_sweep))
-    tables.append(figures.figure11_failure_rate(scale, seed=seed, protocol=protocol))
-    tables.append(figures.figure12_update_frequency(scale, seed=seed, protocol=protocol))
+    tables.append(figures.figure11_failure_rate(scale, seed=seed, protocol=protocol,
+                                                executor=executor))
+    tables.append(figures.figure12_update_frequency(scale, seed=seed, protocol=protocol,
+                                                    executor=executor))
     if include_ablations:
-        tables.append(figures.ablation_probe_order(scale, seed=seed, protocol=protocol))
-        tables.append(figures.ablation_stabilization(scale, seed=seed))
-        tables.append(figures.ablation_overlay(scale, seed=seed))
-        tables.append(figures.ablation_consistency(scale, seed=seed, protocol=protocol))
+        tables.append(figures.ablation_probe_order(scale, seed=seed, protocol=protocol,
+                                                   executor=executor))
+        tables.append(figures.ablation_stabilization(scale, seed=seed,
+                                                     executor=executor))
+        tables.append(figures.ablation_overlay(scale, seed=seed, executor=executor))
+        tables.append(figures.ablation_consistency(scale, seed=seed, protocol=protocol,
+                                                   executor=executor))
     return tables
 
 
@@ -77,6 +97,18 @@ def write_experiments_report(tables: List[ExperimentTable], stream: TextIO, *,
             stream.write("```\n" + ascii_chart(table) + "\n```\n\n")
 
 
+def _progress_printer(stream=None):
+    """A per-run progress callback writing one status line per completion."""
+    stream = stream if stream is not None else sys.stderr
+
+    def progress(completed: int, total: int, point) -> None:
+        label = point.label or point.content_hash[:12]
+        stream.write(f"  [{completed}/{total}] {label}\n")
+        stream.flush()
+
+    return progress
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", choices=sorted(figures.SCALE_PROFILES), default="quick",
@@ -89,16 +121,32 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "ablation (the stabilisation ablation is "
                              "Chord-specific; the overlay ablation always "
                              "compares every registered overlay)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes per sweep (default: serial, or "
+                             "the REPRO_EXECUTOR_JOBS environment variable); "
+                             "results are bit-identical to a serial run")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="on-disk run cache: parameter points already "
+                             "executed under DIR are skipped")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="re-execute every point even when cached "
+                             "(refreshing the cache entries)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print per-run completions to stderr")
     parser.add_argument("--no-ablations", action="store_true",
                         help="skip the ablation studies")
     parser.add_argument("--charts", action="store_true",
                         help="append an ASCII chart under every figure table")
     arguments = parser.parse_args(argv)
 
+    executor = Executor(arguments.jobs, cache_dir=arguments.cache_dir,
+                        use_cache=not arguments.no_cache,
+                        progress=_progress_printer() if arguments.progress else None)
     started = time.time()
     tables = run_all_experiments(arguments.scale, seed=arguments.seed,
                                  protocol=arguments.protocol,
-                                 include_ablations=not arguments.no_ablations)
+                                 include_ablations=not arguments.no_ablations,
+                                 executor=executor)
     elapsed = time.time() - started
     if arguments.output:
         with open(arguments.output, "w", encoding="utf-8") as handle:

@@ -1,23 +1,25 @@
-"""Discrete-event simulation substrate (the SimJava substitute).
+"""Deprecated alias of the simulation substrate (now in :mod:`repro.simulation`).
 
-The paper evaluates scalability with SimJava, an entity-based discrete-event
-simulator.  This sub-package provides the equivalent building blocks in pure
-Python:
-
-* :class:`repro.sim.engine.Simulator` — event heap + generator-based processes
-  (``yield env.timeout(dt)``) with the usual run-until semantics;
-* :mod:`repro.sim.processes` — Poisson arrival processes used for churn and
-  update workloads (Table 1);
-* :class:`repro.sim.cost.NetworkCostModel` — converts a message trace into a
-  response time using the latency/bandwidth distributions of Table 1 (plus a
-  cluster preset for the 64-node experiments);
-* :mod:`repro.sim.metrics` — tallies and counters for collecting results.
+The ``repro.sim`` package was folded into :mod:`repro.simulation` so the
+stack reads engine → workload/scenarios → harness → execution in a single
+package.  Importing this package (or any of its submodules) re-exports the
+same objects from their new homes and emits a :class:`DeprecationWarning`.
 """
 
-from repro.sim.cost import NetworkCostModel
-from repro.sim.engine import Event, Process, SimulationError, Simulator, Timeout
-from repro.sim.metrics import Counter, Tally, TimeSeries
-from repro.sim.processes import PoissonProcess, poisson_arrival_times
+from __future__ import annotations
+
+import warnings
+
+warnings.warn(
+    "repro.sim is deprecated; the simulation substrate moved to "
+    "repro.simulation (repro.simulation.engine / .cost / .metrics / "
+    ".processes)",
+    DeprecationWarning, stacklevel=2)
+
+from repro.simulation.cost import NetworkCostModel
+from repro.simulation.engine import Event, Process, SimulationError, Simulator, Timeout
+from repro.simulation.metrics import Counter, Tally, TimeSeries
+from repro.simulation.processes import PoissonProcess, poisson_arrival_times
 
 __all__ = [
     "Counter",

@@ -10,10 +10,21 @@ the same harness with declarative scenarios — skewed/shifting key
 popularity, bursty/diurnal arrivals, application read/write mixes and
 correlated fault profiles — registered by name and replayable from recorded
 specs (``repro scenario run/list/compare`` on the CLI).
+
+The discrete-event substrate (the SimJava substitute) lives here too:
+:mod:`repro.simulation.engine` (event heap + generator processes),
+:mod:`repro.simulation.processes` (Poisson arrivals),
+:mod:`repro.simulation.cost` (the Table 1 network cost model) and
+:mod:`repro.simulation.metrics` (tallies, counters, time series).  The stack
+reads engine → workload/scenarios → harness → :mod:`repro.execution`.
 """
 
 from repro.simulation.config import Algorithm, SimulationParameters
 from repro.simulation.churn import ChurnEvent, ChurnProcess
+from repro.simulation.cost import NetworkCostModel
+from repro.simulation.engine import Event, Process, SimulationError, Simulator, Timeout
+from repro.simulation.metrics import Counter, Tally, TimeSeries
+from repro.simulation.processes import PoissonProcess, poisson_arrival_times
 from repro.simulation.harness import SimulationHarness, run_simulation
 from repro.simulation.results import QueryObservation, RunResult
 from repro.simulation.scenarios import (
@@ -35,14 +46,24 @@ __all__ = [
     "Algorithm",
     "ChurnEvent",
     "ChurnProcess",
+    "Counter",
+    "Event",
+    "NetworkCostModel",
+    "PoissonProcess",
+    "Process",
     "QueryObservation",
     "QuerySchedule",
     "RunResult",
     "Scenario",
     "ScenarioSpec",
     "ScheduledEvent",
+    "SimulationError",
     "SimulationHarness",
     "SimulationParameters",
+    "Simulator",
+    "Tally",
+    "TimeSeries",
+    "Timeout",
     "UpdateWorkload",
     "get_scenario",
     "payload_for",

@@ -16,8 +16,8 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.dht.network import DHTNetwork
-from repro.sim.engine import Simulator
-from repro.sim.processes import PoissonProcess
+from repro.simulation.engine import Simulator
+from repro.simulation.processes import PoissonProcess
 
 __all__ = ["ChurnEvent", "ChurnProcess"]
 

@@ -16,7 +16,7 @@ from typing import Optional
 
 from repro.api.results import Consistency
 from repro.dht.registry import is_registered, overlay_names
-from repro.sim.cost import NetworkCostModel
+from repro.simulation.cost import NetworkCostModel
 
 __all__ = ["Algorithm", "SimulationParameters"]
 

@@ -1,0 +1,150 @@
+"""Network cost model: from message traces to response times.
+
+Table 1 of the paper defines the simulated network: per-message latency drawn
+from a normal distribution (mean 200 ms, variance 100) and bandwidth drawn
+from a normal distribution (mean 56 kbps, variance 32).  The response time of
+an operation is the accumulation of its messages' latency plus transfer
+delays; messages that hit a failed peer additionally wait for a timeout before
+the sender retries.
+
+Two presets mirror the paper's two testbeds:
+
+* :meth:`NetworkCostModel.wide_area` — Table 1 (the SimJava simulation);
+* :meth:`NetworkCostModel.cluster` — the 64-node, 1 Gbps cluster of Section
+  5.2, modelled as a small per-message processing latency and LAN bandwidth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dht.messages import Message, OperationTrace
+
+__all__ = ["NetworkCostModel"]
+
+
+@dataclass
+class NetworkCostModel:
+    """Converts message traces into durations.
+
+    Attributes
+    ----------
+    latency_mean_s / latency_std_s:
+        Per-message network latency (seconds).  Table 1: mean 200 ms,
+        variance 100 (ms²) → standard deviation 10 ms.
+    bandwidth_mean_bps / bandwidth_std_bps:
+        Link bandwidth in bits/second.  Table 1: mean 56 kbps, variance 32
+        (kbps²) → standard deviation ≈ 5.66 kbps.
+    timeout_s:
+        Extra delay paid when a message is sent to a failed peer before the
+        sender gives up and retries.
+    rng:
+        Random source; a model built with a seed is fully reproducible.
+    """
+
+    latency_mean_s: float = 0.2
+    latency_std_s: float = 0.01
+    bandwidth_mean_bps: float = 56_000.0
+    bandwidth_std_bps: float = 5_660.0
+    timeout_s: float = 2.0
+    rng: Optional[random.Random] = None
+
+    def __post_init__(self) -> None:
+        if self.latency_mean_s < 0 or self.bandwidth_mean_bps <= 0:
+            raise ValueError("latency must be >= 0 and bandwidth must be > 0")
+        if self.rng is None:
+            self.rng = random.Random()
+        self._latency_factor = 1.0
+        self._bandwidth_factor = 1.0
+        self._timeout_factor = 1.0
+
+    # ------------------------------------------------------------ degradation
+    def set_degradation(self, *, latency_factor: float = 1.0,
+                        bandwidth_factor: float = 1.0,
+                        timeout_factor: float = 1.0) -> None:
+        """Enter a degraded (lossy) period: scale subsequent delay samples.
+
+        Until :meth:`clear_degradation`, sampled latencies are multiplied by
+        ``latency_factor``, sampled bandwidths by ``bandwidth_factor`` and the
+        failed-peer timeout by ``timeout_factor``.  Sampling still consumes
+        exactly one RNG draw per message, so seeded runs stay aligned with
+        their undegraded twins — only the pricing changes.  Used by the
+        scenario engine's lossy-period fault profile
+        (:class:`repro.simulation.scenarios.faults.LossyPeriod`).
+        """
+        if latency_factor <= 0 or bandwidth_factor <= 0 or timeout_factor <= 0:
+            raise ValueError("degradation factors must be > 0")
+        self._latency_factor = latency_factor
+        self._bandwidth_factor = bandwidth_factor
+        self._timeout_factor = timeout_factor
+
+    def clear_degradation(self) -> None:
+        """Leave the degraded period: restore nominal pricing."""
+        self._latency_factor = 1.0
+        self._bandwidth_factor = 1.0
+        self._timeout_factor = 1.0
+
+    @property
+    def degraded(self) -> bool:
+        """Whether a degradation is currently in effect."""
+        return (self._latency_factor, self._bandwidth_factor,
+                self._timeout_factor) != (1.0, 1.0, 1.0)
+
+    # --------------------------------------------------------------- presets
+    @classmethod
+    def wide_area(cls, seed: Optional[int] = None) -> "NetworkCostModel":
+        """The Table 1 wide-area network (200 ms latency, 56 kbps)."""
+        return cls(rng=random.Random(seed))
+
+    @classmethod
+    def cluster(cls, seed: Optional[int] = None) -> "NetworkCostModel":
+        """The 64-node cluster of Section 5.2.
+
+        The cluster interconnect is 1 Gbps with sub-millisecond wire latency;
+        the dominant per-message cost there is protocol/processing overhead,
+        which we model as a 50 ms mean per-message latency.  This calibration
+        puts the absolute response times in the range reported by Figure 6
+        (≈0.3–2.5 s for 10–64 peers).
+        """
+        return cls(latency_mean_s=0.05, latency_std_s=0.005,
+                   bandwidth_mean_bps=1_000_000_000.0, bandwidth_std_bps=0.0,
+                   timeout_s=0.5, rng=random.Random(seed))
+
+    # ---------------------------------------------------------------- sampling
+    def sample_latency(self) -> float:
+        """One per-message latency sample (truncated at a small positive floor)."""
+        sample = max(1e-4, self.rng.gauss(self.latency_mean_s, self.latency_std_s))
+        return sample * self._latency_factor
+
+    def sample_bandwidth(self) -> float:
+        """One bandwidth sample in bits/second (truncated at 1 kbps)."""
+        if self.bandwidth_std_bps <= 0:
+            return self.bandwidth_mean_bps * self._bandwidth_factor
+        sample = max(1_000.0, self.rng.gauss(self.bandwidth_mean_bps,
+                                             self.bandwidth_std_bps))
+        return sample * self._bandwidth_factor
+
+    # ---------------------------------------------------------------- durations
+    def message_delay(self, message: Message) -> float:
+        """Latency + transfer time (+ timeout) for a single message."""
+        delay = self.sample_latency()
+        delay += (message.size_bytes * 8) / self.sample_bandwidth()
+        if message.timed_out:
+            delay += self.timeout_s * self._timeout_factor
+        return delay
+
+    def duration(self, trace: OperationTrace) -> float:
+        """Total response time of an operation whose messages are sent sequentially.
+
+        The services of the paper are sequential by construction: UMS probes
+        replicas one at a time (stopping at the first current one) and KTS
+        performs a lookup followed by a request/reply exchange, so summing the
+        per-message delays reproduces the SimJava accounting.
+        """
+        return sum(self.message_delay(message) for message in trace)
+
+    def expected_message_delay(self, size_bytes: int = 128) -> float:
+        """Deterministic expectation of a message delay (no sampling); handy in tests."""
+        return self.latency_mean_s + (size_bytes * 8) / self.bandwidth_mean_bps

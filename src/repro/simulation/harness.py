@@ -30,9 +30,9 @@ from repro.api.results import RetrieveResult
 from repro.core.kts import KeyBasedTimestampService
 from repro.core.replication import ReplicationScheme
 from repro.dht.network import DHTNetwork
-from repro.sim.cost import NetworkCostModel
-from repro.sim.engine import Simulator
-from repro.sim.metrics import TimeSeries
+from repro.simulation.cost import NetworkCostModel
+from repro.simulation.engine import Simulator
+from repro.simulation.metrics import TimeSeries
 from repro.simulation.churn import ChurnProcess
 from repro.simulation.config import Algorithm, SimulationParameters
 from repro.simulation.results import QueryObservation, RunResult

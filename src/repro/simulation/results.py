@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.sim.metrics import Tally, TimeSeries
+from repro.simulation.metrics import Tally, TimeSeries
 
 __all__ = ["QueryObservation", "RunResult"]
 
@@ -21,6 +21,15 @@ class QueryObservation:
     replicas_inspected: int
     found: bool
     is_current: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable snapshot (used by the execution-layer run cache)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "QueryObservation":
+        """Rebuild an observation recorded by :meth:`to_dict`."""
+        return cls(**payload)
 
 
 @dataclass
@@ -114,6 +123,54 @@ class RunResult:
             return 0.0
         values = self.currency_series.values()
         return sum(values) / len(values)
+
+    # ------------------------------------------------------------ serialisation
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-serialisable snapshot of the run.
+
+        Round-trips through :meth:`from_dict`: every per-query observation,
+        the optional currency time series and the flat parameter record are
+        preserved, so a cached result is bit-identical (all aggregates are
+        recomputed from the same observations) to the freshly executed one.
+        """
+        return {
+            "algorithm": self.algorithm,
+            "num_peers": self.num_peers,
+            "num_replicas": self.num_replicas,
+            "queries": [observation.to_dict() for observation in self.queries],
+            "updates_performed": self.updates_performed,
+            "churn_events": self.churn_events,
+            "failures": self.failures,
+            "inspections_performed": self.inspections_performed,
+            "counter_corrections": self.counter_corrections,
+            "currency_series": (self.currency_series.to_dict()
+                                if self.currency_series is not None else None),
+            "parameters": self.parameters,
+            "scenario": self.scenario,
+            "fault_events": self.fault_events,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunResult":
+        """Rebuild a run result recorded by :meth:`to_dict`."""
+        series = payload.get("currency_series")
+        return cls(
+            algorithm=payload["algorithm"],
+            num_peers=payload["num_peers"],
+            num_replicas=payload["num_replicas"],
+            queries=[QueryObservation.from_dict(observation)
+                     for observation in payload.get("queries", [])],
+            updates_performed=payload.get("updates_performed", 0),
+            churn_events=payload.get("churn_events", 0),
+            failures=payload.get("failures", 0),
+            inspections_performed=payload.get("inspections_performed", 0),
+            counter_corrections=payload.get("counter_corrections", 0),
+            currency_series=(TimeSeries.from_dict(series)
+                            if series is not None else None),
+            parameters=payload.get("parameters"),
+            scenario=payload.get("scenario"),
+            fault_events=payload.get("fault_events", 0),
+        )
 
     def summary(self) -> Dict[str, float]:
         """Flat summary used by the experiment tables and benchmarks."""

@@ -23,7 +23,7 @@ from bisect import bisect_right
 from math import pi, sin
 from typing import Any, Dict, List, Mapping, Sequence, Tuple, Type
 
-from repro.sim.processes import poisson_arrival_times
+from repro.simulation.processes import poisson_arrival_times
 
 __all__ = [
     "ArrivalModel",

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Union
 
-from repro.sim.processes import poisson_arrival_times
+from repro.simulation.processes import poisson_arrival_times
 from repro.simulation.config import SimulationParameters
 from repro.simulation.results import RunResult
 from repro.simulation.scenarios.arrivals import build_arrivals

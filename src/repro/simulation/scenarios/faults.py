@@ -15,7 +15,7 @@ ship:
   contiguous arc of the identifier space fails at once (a "region" going
   dark), optionally healed later by an equal number of fresh joins;
 * :class:`LossyPeriod` — a time window during which the
-  :class:`~repro.sim.cost.NetworkCostModel` is degraded (higher latency,
+  :class:`~repro.simulation.cost.NetworkCostModel` is degraded (higher latency,
   lower bandwidth, longer timeouts) via its degradation factors.
 
 A profile ``install``\\ s itself onto the simulation engine; fired events are
@@ -49,7 +49,7 @@ class FaultProfile:
         """Schedule this profile's events on ``sim``.
 
         ``network`` is the :class:`~repro.dht.network.DHTNetwork` under test,
-        ``cost_model`` the run's :class:`~repro.sim.cost.NetworkCostModel`,
+        ``cost_model`` the run's :class:`~repro.simulation.cost.NetworkCostModel`,
         ``rng`` the dedicated fault random stream and ``log`` the shared list
         fired events are appended to.  ``churn`` is the run's
         :class:`~repro.simulation.churn.ChurnProcess` when one is active:
@@ -223,7 +223,7 @@ class LossyPeriod(FaultProfile):
     Between ``start`` and ``end`` (run fractions), per-message latency is
     multiplied by ``latency_factor``, bandwidth by ``bandwidth_factor`` and
     the failed-peer timeout by ``timeout_factor`` — see
-    :meth:`repro.sim.cost.NetworkCostModel.set_degradation`.  Routing and
+    :meth:`repro.simulation.cost.NetworkCostModel.set_degradation`.  Routing and
     message *counts* are untouched; only the response-time pricing of the
     affected window changes, so the profile isolates "slow network" from
     "lost state".

@@ -12,7 +12,7 @@ import random
 from dataclasses import dataclass
 from typing import Any, List, Sequence
 
-from repro.sim.processes import poisson_arrival_times
+from repro.simulation.processes import poisson_arrival_times
 
 __all__ = ["QuerySchedule", "ScheduledEvent", "UpdateWorkload", "default_keys",
            "payload_for"]

@@ -5,7 +5,7 @@ from __future__ import annotations
 import random
 
 from repro.core import CounterInitialization, build_service_stack
-from repro.sim.cost import NetworkCostModel
+from repro.simulation.cost import NetworkCostModel
 
 
 class TestUmsVersusBrk:

@@ -7,7 +7,7 @@ import random
 import pytest
 
 from repro.core import CounterInitialization, build_service_stack
-from repro.sim.engine import Simulator
+from repro.simulation.engine import Simulator
 from repro.simulation.churn import ChurnProcess
 
 

@@ -7,7 +7,7 @@ import random
 import pytest
 
 from repro.dht.network import DHTNetwork
-from repro.sim.engine import Simulator
+from repro.simulation.engine import Simulator
 from repro.simulation.churn import ChurnProcess
 
 

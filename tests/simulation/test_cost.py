@@ -7,7 +7,7 @@ import random
 import pytest
 
 from repro.dht.messages import MessageKind, OperationTrace
-from repro.sim.cost import NetworkCostModel
+from repro.simulation.cost import NetworkCostModel
 
 
 def trace_with(count, kind=MessageKind.LOOKUP_HOP, timeouts=0):

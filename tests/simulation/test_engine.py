@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sim.engine import SimulationError, Simulator
+from repro.simulation.engine import SimulationError, Simulator
 
 
 class TestScheduling:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sim.metrics import Counter, Tally, TimeSeries
+from repro.simulation.metrics import Counter, Tally, TimeSeries
 
 
 class TestCounter:

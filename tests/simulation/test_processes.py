@@ -6,8 +6,8 @@ import random
 
 import pytest
 
-from repro.sim.engine import Simulator
-from repro.sim.processes import PoissonProcess, exponential_interval, poisson_arrival_times
+from repro.simulation.engine import Simulator
+from repro.simulation.processes import PoissonProcess, exponential_interval, poisson_arrival_times
 
 
 class TestExponentialInterval:

@@ -8,8 +8,8 @@ import random
 import pytest
 
 from repro.dht.network import DHTNetwork
-from repro.sim.cost import NetworkCostModel
-from repro.sim.engine import Simulator
+from repro.simulation.cost import NetworkCostModel
+from repro.simulation.engine import Simulator
 from repro.simulation import SimulationParameters
 from repro.simulation.churn import ChurnProcess
 from repro.simulation.scenarios import (

@@ -226,6 +226,33 @@ class TestScenarioCommand:
             assert series in output
         assert "hotspot" in output and "flashcrowd" in output
 
+    def test_compare_with_jobs_matches_the_serial_output(self):
+        base = ["scenario", "compare", "--scenarios", "uniform,hotspot",
+                "--protocols", "chord", "--services", "ums,brk",
+                "--peers", "60", "--keys", "4", "--duration", "200",
+                "--queries", "4", "--seed", "13"]
+        serial, parallel = io.StringIO(), io.StringIO()
+        assert cli.scenario_command(cli.build_parser().parse_args(base),
+                                    stream=serial) == 0
+        assert cli.scenario_command(
+            cli.build_parser().parse_args(base + ["--jobs", "2"]),
+            stream=parallel) == 0
+        assert serial.getvalue() == parallel.getvalue()
+
+    def test_compare_cache_dir_skips_executed_cells(self, tmp_path):
+        cache = tmp_path / "cache"
+        base = ["scenario", "compare", "--scenarios", "uniform",
+                "--protocols", "chord", "--services", "ums",
+                "--peers", "60", "--keys", "4", "--duration", "200",
+                "--queries", "4", "--seed", "13", "--cache-dir", str(cache)]
+        first, second = io.StringIO(), io.StringIO()
+        assert cli.scenario_command(cli.build_parser().parse_args(base),
+                                    stream=first) == 0
+        assert len(list(cache.glob("*.json"))) == 1
+        assert cli.scenario_command(cli.build_parser().parse_args(base),
+                                    stream=second) == 0
+        assert first.getvalue() == second.getvalue()
+
     def test_main_dispatches_to_scenario(self, capsys):
         exit_code = cli.main(["scenario", "list"])
         assert exit_code == 0
@@ -247,3 +274,21 @@ class TestExperimentsCommand:
         content = output.read_text()
         assert "figure-7" in content
         assert "table-1" in content
+
+    def test_experiments_jobs_and_cache_reproduce_the_serial_report(self, tmp_path):
+        def report(*extra) -> str:
+            output = tmp_path / "report.md"
+            assert cli.main(["experiments", "--scale", "tiny", "--no-ablations",
+                             "--output", str(output), "--seed", "5",
+                             *extra]) == 0
+            # Strip the wall-clock line: it differs between invocations.
+            return "\n".join(line for line in output.read_text().splitlines()
+                             if not line.startswith("Total wall-clock"))
+
+        serial = report()
+        cache = tmp_path / "cache"
+        parallel = report("--jobs", "2", "--cache-dir", str(cache))
+        assert parallel == serial
+        assert len(list(cache.glob("*.json"))) > 0
+        cached = report("--cache-dir", str(cache))
+        assert cached == serial

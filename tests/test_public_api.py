@@ -9,7 +9,7 @@ from repro.dht import errors as dht_errors
 
 class TestTopLevelExports:
     def test_version_is_exposed(self):
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
 
     def test_all_names_resolve(self):
         for name in repro.__all__:
@@ -25,10 +25,10 @@ class TestTopLevelExports:
         for name in dht.__all__:
             assert getattr(dht, name) is not None
 
-    def test_sim_and_simulation_all_names_resolve(self):
-        import repro.sim as sim
+    def test_simulation_and_execution_all_names_resolve(self):
+        import repro.execution as execution
         import repro.simulation as simulation
-        for module in (sim, simulation):
+        for module in (execution, simulation):
             for name in module.__all__:
                 assert getattr(module, name) is not None
 
@@ -89,7 +89,9 @@ class TestDocumentationArtifacts:
             "repro", "repro.cli", "repro.core", "repro.core.kts", "repro.core.ums",
             "repro.core.baseline", "repro.core.analysis", "repro.core.audit",
             "repro.dht", "repro.dht.chord", "repro.dht.can", "repro.dht.network",
-            "repro.sim.engine", "repro.sim.cost", "repro.simulation.harness",
+            "repro.simulation.engine", "repro.simulation.cost", "repro.simulation.harness",
+            "repro.execution", "repro.execution.plan", "repro.execution.executor",
+            "repro.execution.cache",
             "repro.experiments.figures", "repro.apps.agenda",
         ]
         for name in modules:
