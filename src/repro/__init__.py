@@ -20,6 +20,10 @@ The package provides:
 * the unified execution layer — serialisable :class:`~repro.execution.RunPlan`
   grids, the parallel :class:`~repro.execution.Executor` and the on-disk run
   cache — in :mod:`repro.execution`;
+* **real-service mode** — the length-prefixed wire codec, the asyncio node
+  server (``repro serve``), the pooled client transport with bounded retries,
+  the ``sim``/``tcp``/``uds`` backend registry and the latency-percentile
+  load harness (``repro loadgen``) — in :mod:`repro.net`;
 * example applications (agenda, auction, reservation management) in
   :mod:`repro.apps`.
 
@@ -52,7 +56,7 @@ from repro.execution import Executor, RunPlan
 from repro.simulation.cost import NetworkCostModel
 from repro.simulation.engine import Simulator
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BricksService",

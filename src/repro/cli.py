@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four entry points are provided (also installable as console scripts, and
+Six entry points are provided (also installable as console scripts, and
 reachable as ``python -m repro``):
 
 * ``python -m repro simulate`` — run one simulation (one algorithm, one
@@ -9,12 +9,19 @@ reachable as ``python -m repro``):
   ``list`` the registered scenarios, ``run`` one (with record/replay via
   ``--spec-out``/``--spec``), or ``compare`` scenarios × overlays × services
   as per-metric tables;
+* ``python -m repro serve`` — real-service mode: host a cluster (overlay +
+  stores + KTS/UMS handlers) behind the :mod:`repro.net` asyncio transport,
+  over TCP and/or a Unix domain socket;
+* ``python -m repro loadgen`` — the load harness: pace a mixed
+  insert/retrieve workload with a scenario arrival model against any backend
+  (``sim``/``tcp``/``uds``) and report throughput + p50/p95/p99 latency;
 * ``python -m repro experiments`` — regenerate the paper's tables and
   figures (thin wrapper over :mod:`repro.experiments.runner`);
 * ``python -m repro registry`` — list the pluggable backends: the DHT
   overlays of :mod:`repro.dht.registry`, the currency services of
-  :mod:`repro.api.services` and the scenarios of
-  :mod:`repro.simulation.scenarios.registry`.
+  :mod:`repro.api.services`, the scenarios of
+  :mod:`repro.simulation.scenarios.registry` and the execution backends of
+  :mod:`repro.net.backends`.
 
 Examples
 --------
@@ -26,6 +33,9 @@ Examples
     python -m repro scenario run --scenario flashcrowd --protocol kademlia
     python -m repro scenario compare --scenarios hotspot,flashcrowd \
         --protocols chord,kademlia --services ums,brk --jobs 4
+    python -m repro serve --port 9207 --peers 200 --seed 2007
+    python -m repro loadgen --backend tcp --address 127.0.0.1:9207 \
+        --arrival poisson --ops 500 --duration 5
     python -m repro experiments --scale quick --output results.md
     python -m repro experiments --scale paper --jobs 4 --cache-dir .repro-cache
 
@@ -57,8 +67,8 @@ from repro.simulation.scenarios import (
     scenario_names,
 )
 
-__all__ = ["build_parser", "main", "registry_command", "scenario_command",
-           "simulate_command"]
+__all__ = ["build_parser", "loadgen_command", "main", "registry_command",
+           "scenario_command", "serve_command", "simulate_command"]
 
 #: Currency-service registry name -> harness algorithm, for ``--services``.
 _SERVICE_ALGORITHMS = {"ums": Algorithm.UMS_DIRECT, "brk": Algorithm.BRK}
@@ -201,6 +211,77 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--no-cache", action="store_true",
                              help="re-execute cached points (refreshing them)")
 
+    serve = subparsers.add_parser(
+        "serve", help="host a cluster behind the repro.net asyncio transport "
+                      "(TCP and/or Unix domain socket)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind host (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=9207,
+                       help="TCP bind port (0 picks a free one; default 9207)")
+    serve.add_argument("--uds", default=None, metavar="PATH",
+                       help="additionally (or, with --no-tcp, exclusively) "
+                            "listen on this Unix domain socket")
+    serve.add_argument("--no-tcp", action="store_true",
+                       help="do not open a TCP listener (requires --uds)")
+    serve.add_argument("--peers", type=int, default=64, help="cluster size")
+    serve.add_argument("--protocol", choices=overlay_names(), default="chord")
+    serve.add_argument("--service", default="ums",
+                       help="primary currency service "
+                            f"(registered: {', '.join(service_names())})")
+    serve.add_argument("--replicas", type=int, default=10, help="|Hr|")
+    serve.add_argument("--seed", type=int, default=2007)
+    serve.add_argument("--max-inflight", type=int, default=32,
+                       help="per-connection inflight-queue bound "
+                            "(the backpressure knob)")
+
+    loadgen = subparsers.add_parser(
+        "loadgen", help="generate load against a backend and report "
+                        "throughput + p50/p95/p99 latency")
+    loadgen.add_argument("--backend", default="sim",
+                         help="execution backend: sim (in-process), tcp or "
+                              "uds (a running `repro serve` node)")
+    loadgen.add_argument("--address", default=None,
+                         help="server address: host:port for tcp, socket "
+                              "path for uds")
+    loadgen.add_argument("--arrival", default="poisson",
+                         help="arrival model: uniform, poisson, flash-crowd "
+                              "or diurnal")
+    loadgen.add_argument("--ops", type=int, default=200,
+                         help="target operation count")
+    loadgen.add_argument("--duration", type=float, default=2.0,
+                         help="wall-clock pacing window in seconds")
+    loadgen.add_argument("--read-fraction", type=float, default=0.8,
+                         help="fraction of operations that are retrieves")
+    loadgen.add_argument("--keys", type=int, default=16,
+                         help="distinct keys in the workload")
+    loadgen.add_argument("--consistency", choices=Consistency.ALL,
+                         default=Consistency.CURRENT)
+    loadgen.add_argument("--no-pacing", action="store_true",
+                         help="issue back-to-back (closed loop) instead of "
+                              "following the arrival schedule")
+    loadgen.add_argument("--peers", type=int, default=64,
+                         help="cluster size (sim backend only)")
+    loadgen.add_argument("--protocol", choices=overlay_names(), default="chord",
+                         help="overlay (sim backend only)")
+    loadgen.add_argument("--service", default="ums",
+                         help="currency service (sim backend only)")
+    loadgen.add_argument("--replicas", type=int, default=10,
+                         help="|Hr| (sim backend only)")
+    loadgen.add_argument("--seed", type=int, default=2007,
+                         help="workload seed (and cluster seed for sim)")
+    loadgen.add_argument("--timeout", type=float, default=5.0,
+                         help="per-request transport timeout (net backends)")
+    loadgen.add_argument("--max-retries", type=int, default=2,
+                         help="bounded transport retries (net backends)")
+    loadgen.add_argument("--output", default=None, metavar="FILE",
+                         help="report path (default: benchmarks/results/"
+                              "loadgen-<arrival>-<backend>-<hash12>.json)")
+    loadgen.add_argument("--json", action="store_true",
+                         help="print the full JSON report to stdout")
+    loadgen.add_argument("--shutdown", action="store_true",
+                         help="ask the server to shut down gracefully after "
+                              "the run (net backends)")
+
     subparsers.add_parser(
         "registry", help="list the registered DHT overlays and currency services")
     return parser
@@ -260,6 +341,121 @@ def registry_command(arguments: argparse.Namespace, *, stream=None) -> int:
     stream.write(f"services (repro.api.services) : {', '.join(service_names())}\n")
     stream.write(f"consistency levels            : {', '.join(Consistency.ALL)}\n")
     stream.write(f"scenarios (repro scenario)    : {', '.join(scenario_names())}\n")
+    from repro.net.backends import backend_names
+
+    stream.write(f"backends (repro.net.backends) : {', '.join(backend_names())}\n")
+    return 0
+
+
+def serve_command(arguments: argparse.Namespace, *, stream=None) -> int:
+    """Run the ``serve`` sub-command: host a cluster over TCP and/or UDS."""
+    stream = stream if stream is not None else sys.stdout
+    import asyncio
+    import signal
+
+    from repro.net.server import NodeServer
+
+    if arguments.no_tcp and arguments.uds is None:
+        raise SystemExit("--no-tcp requires --uds (nothing left to listen on)")
+    server = NodeServer(peers=arguments.peers, protocol=arguments.protocol,
+                        service=arguments.service, replicas=arguments.replicas,
+                        seed=arguments.seed, max_inflight=arguments.max_inflight)
+
+    async def _serve() -> None:
+        await server.start(host=None if arguments.no_tcp else arguments.host,
+                           port=arguments.port, uds=arguments.uds)
+        if server.tcp_address is not None:
+            host, port = server.tcp_address
+            stream.write(f"listening on tcp://{host}:{port}\n")
+        if server.uds_path is not None:
+            stream.write(f"listening on uds://{server.uds_path}\n")
+        stream.write(f"serving {server.cluster.size} peers "
+                     f"({arguments.protocol}, service={arguments.service}, "
+                     f"seed={arguments.seed}); Ctrl-C or a client 'shutdown' "
+                     "request stops gracefully\n")
+        if hasattr(stream, "flush"):
+            stream.flush()
+        loop = asyncio.get_running_loop()
+        for signal_number in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    signal_number,
+                    lambda: loop.create_task(server.stop()))
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # platforms without loop signal handlers
+        await server.wait_stopped()
+
+    asyncio.run(_serve())
+    stream.write(f"stopped after {server.requests_served} requests\n")
+    return 0
+
+
+def loadgen_command(arguments: argparse.Namespace, *, stream=None) -> int:
+    """Run the ``loadgen`` sub-command: paced load + latency percentiles."""
+    stream = stream if stream is not None else sys.stdout
+    import pathlib
+
+    from repro.net.backends import backend_names, build_backend
+    from repro.net.loadgen import LoadSpec, run_load, write_report
+
+    backend = arguments.backend.lower()
+    if backend not in backend_names():
+        raise SystemExit(f"unknown backend {backend!r}; registered backends: "
+                         f"{', '.join(backend_names())}")
+    if backend != "sim" and arguments.address is None:
+        raise SystemExit(f"--backend {backend} requires --address "
+                         "(host:port for tcp, a socket path for uds)")
+    try:
+        spec = LoadSpec(ops=arguments.ops, duration_s=arguments.duration,
+                        arrival={"model": arguments.arrival},
+                        read_fraction=arguments.read_fraction,
+                        keys=arguments.keys, consistency=arguments.consistency,
+                        seed=arguments.seed)
+    except ValueError as error:
+        raise SystemExit(str(error)) from error
+
+    if backend == "sim":
+        options = dict(peers=arguments.peers, protocol=arguments.protocol,
+                       service=arguments.service, replicas=arguments.replicas,
+                       seed=arguments.seed)
+    else:
+        options = dict(address=arguments.address, timeout_s=arguments.timeout,
+                       max_retries=arguments.max_retries)
+    try:
+        cluster = build_backend(backend, **options)
+    except (ValueError, OSError) as error:
+        raise SystemExit(f"could not build backend {backend!r}: {error}") from error
+
+    try:
+        report = run_load(cluster, spec, backend=backend,
+                          paced=not arguments.no_pacing)
+        if arguments.shutdown and hasattr(cluster, "shutdown_server"):
+            cluster.shutdown_server()
+    finally:
+        close = getattr(cluster, "close", None)
+        if close is not None:
+            close()
+
+    output = pathlib.Path(arguments.output) if arguments.output else None
+    path = write_report(report, output)
+    if arguments.json:
+        stream.write(json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n")
+        stream.write(f"report written to {path}\n")
+        return 0
+    latency = report.to_dict()["latency_ms"]
+    stream.write(f"backend              : {backend}\n")
+    stream.write(f"arrival model        : {spec.arrival_model}\n")
+    stream.write(f"operations           : {report.operations} "
+                 f"({report.errors} errors)\n")
+    stream.write(f"elapsed              : {report.elapsed_s:.2f} s\n")
+    stream.write(f"throughput           : {report.throughput_ops_per_s:.1f} ops/s\n")
+    stream.write(f"latency p50/p95/p99  : {latency['p50']:.2f} / "
+                 f"{latency['p95']:.2f} / {latency['p99']:.2f} ms\n")
+    if report.transport is not None:
+        stream.write(f"transport            : {report.transport['requests']} "
+                     f"requests, {report.transport['retries']} retries, "
+                     f"{report.transport['timeouts']} timeouts\n")
+    stream.write(f"report written to {path}\n")
     return 0
 
 
@@ -462,6 +658,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return scenario_command(arguments)
     if arguments.command == "registry":
         return registry_command(arguments)
+    if arguments.command == "serve":
+        return serve_command(arguments)
+    if arguments.command == "loadgen":
+        return loadgen_command(arguments)
     if arguments.command == "experiments":
         runner_args = ["--scale", arguments.scale, "--seed", str(arguments.seed),
                        "--protocol", arguments.protocol]

@@ -1,0 +1,479 @@
+"""Client transport: connection pool, timeouts and bounded retries.
+
+:func:`connect` opens a :class:`RemoteCluster` against a running
+:class:`~repro.net.server.NodeServer`, and hands out the **same**
+:class:`~repro.api.cluster.Session` handles the simulation backend does —
+the session's service is a :class:`RemoteService` satisfying the
+:class:`~repro.api.services.CurrencyService` protocol, so every caller written
+against ``Cluster``/``Session`` (apps, load generator, tests) drives real
+sockets without changing a line.
+
+The transport internals:
+
+* a private asyncio event loop runs on a daemon thread; the synchronous
+  facade submits coroutines with ``run_coroutine_threadsafe`` (sessions stay
+  blocking, exactly like the in-process backend);
+* a **connection pool** (``pool_size`` persistent connections, created
+  lazily, reused round-robin) amortises connection setup across requests;
+* every request carries a **timeout**; a timed-out connection is torn down
+  (its reply can no longer be matched) and the request is retried on a fresh
+  connection, up to ``max_retries`` times, after which
+  :class:`RequestTimeout` surfaces to the caller.
+
+Retries map onto the existing accounting: each timeout-retry is recorded in
+the operation's :class:`~repro.dht.messages.OperationTrace` as a
+``LOOKUP_RETRY`` message with ``timed_out=True`` — byte-for-byte the
+convention :meth:`OperationTrace.record_route` uses for the simulator's
+routing retries — and tallied in :class:`TransportCounters`.  Note the
+at-least-once consequence: a dropped *reply* does not undo the executed
+request, so a retried insert simply stamps a newer timestamp (newest-wins
+makes inserts idempotent in effect).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, FrozenSet, Optional, Sequence, Tuple, Union
+
+from repro.api.cluster import Session
+from repro.api.results import (
+    BatchInsertResult,
+    BatchRetrieveResult,
+    Consistency,
+    InsertResult,
+    RetrieveResult,
+)
+from repro.dht.messages import MessageKind, OperationTrace
+from repro.net import codec
+
+__all__ = ["NetClient", "RemoteCluster", "RemoteService", "RequestStats",
+           "RequestTimeout", "TransportCounters", "TransportError", "connect"]
+
+#: An address: ``(host, port)`` for TCP, or a filesystem path for UDS.
+Address = Union[Tuple[str, int], str]
+
+
+class TransportError(RuntimeError):
+    """The transport failed (connection refused, protocol violation, ...)."""
+
+
+class RequestTimeout(TransportError):
+    """A request exhausted its bounded retries without receiving a reply."""
+
+
+@dataclass
+class TransportCounters:
+    """Running transport tallies of one client (mirrors the trace accounting).
+
+    ``timeouts`` counts requests that waited out their timeout, ``retries``
+    the re-sends those timeouts triggered (a timeout on the final permitted
+    attempt raises instead of retrying, so ``retries <= timeouts``);
+    ``reconnects`` counts replacement connections, and the byte counters the
+    measured frame sizes on the wire.
+    """
+
+    requests: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    reconnects: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dict (for reports and bench JSON)."""
+        return asdict(self)
+
+
+@dataclass
+class RequestStats:
+    """Per-request transport accounting returned alongside each reply."""
+
+    attempts: int = 1
+    retries: int = 0
+    timeouts: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+    trace_messages: list = field(default_factory=list)
+
+
+class _Connection:
+    """One pooled connection: a stream pair plus its frame decoder."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.decoder = codec.FrameDecoder()
+        self.closed = False
+
+    async def request(self, frame: bytes) -> Dict[str, Any]:
+        """Send one encoded frame and await the next reply payload."""
+        self.writer.write(frame)
+        await self.writer.drain()
+        while True:
+            chunk = await self.reader.read(64 * 1024)
+            if not chunk:
+                raise TransportError("server closed the connection")
+            frames = self.decoder.feed(chunk)
+            if frames:
+                if len(frames) != 1:
+                    raise TransportError(
+                        f"expected one reply frame, got {len(frames)}")
+                return frames[0]
+
+    def close(self) -> None:
+        """Tear the connection down (a timed-out link cannot be reused)."""
+        if not self.closed:
+            self.closed = True
+            self.writer.close()
+
+
+class NetClient:
+    """Synchronous request facade over the pooled asyncio transport.
+
+    Parameters
+    ----------
+    address:
+        ``(host, port)`` for TCP or a socket path (``str``) for UDS.
+    pool_size:
+        Number of persistent connections kept open (created lazily).
+    timeout_s:
+        Per-attempt reply timeout.
+    max_retries:
+        How many times a timed-out request is re-sent before
+        :class:`RequestTimeout` is raised (total attempts =
+        ``max_retries + 1``).
+    """
+
+    def __init__(self, address: Address, *, pool_size: int = 2,
+                 timeout_s: float = 5.0, max_retries: int = 2) -> None:
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
+        self.address = address
+        self.pool_size = pool_size
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.counters = TransportCounters()
+        self._next_id = 0
+        self._created = 0
+        self._closed = False
+        self._lock = threading.Lock()
+        self._loop = asyncio.new_event_loop()
+        self._pool: Optional["asyncio.Queue"] = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run_loop, daemon=True,
+                                        name="repro-net-client")
+        self._thread.start()
+        self._ready.wait()
+
+    # ---------------------------------------------------------------- loop
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        # The pool queue must be created on the loop thread: on Python 3.9
+        # asyncio.Queue still binds the thread's current event loop.
+        self._pool = asyncio.Queue()
+        self._ready.set()
+        self._loop.run_forever()
+        self._loop.close()
+
+    def _submit(self, coroutine):
+        return asyncio.run_coroutine_threadsafe(coroutine, self._loop).result()
+
+    # ---------------------------------------------------------------- pool
+    async def _open_connection(self) -> _Connection:
+        try:
+            if isinstance(self.address, str):
+                reader, writer = await asyncio.open_unix_connection(self.address)
+            else:
+                host, port = self.address
+                reader, writer = await asyncio.open_connection(host, port)
+        except OSError as error:
+            raise TransportError(f"cannot connect to {self.address!r}: "
+                                 f"{error}") from error
+        return _Connection(reader, writer)
+
+    async def _acquire(self) -> _Connection:
+        while True:
+            try:
+                connection = self._pool.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if not connection.closed:
+                return connection
+        if self._created < self.pool_size:
+            self._created += 1
+            try:
+                return await self._open_connection()
+            except TransportError:
+                self._created -= 1
+                raise
+        connection = await self._pool.get()
+        if connection.closed:
+            self.counters.reconnects += 1
+            return await self._open_connection()
+        return connection
+
+    def _release(self, connection: _Connection) -> None:
+        self._pool.put_nowait(connection)
+
+    async def _replace(self, connection: _Connection) -> None:
+        connection.close()
+        self.counters.reconnects += 1
+        try:
+            self._pool.put_nowait(await self._open_connection())
+        except TransportError:
+            self._created -= 1  # re-open lazily on the next acquire
+
+    # ------------------------------------------------------------- requests
+    def request(self, op: str, **params: Any) -> Tuple[Any, RequestStats]:
+        """Issue one request; returns ``(result, per-request stats)``.
+
+        Raises :class:`RequestTimeout` after the bounded retries are
+        exhausted, and :class:`TransportError` on a server-reported error or
+        a protocol violation.
+        """
+        with self._lock:
+            if self._closed:
+                raise TransportError("client is closed")
+            request_id = self._next_id
+            self._next_id += 1
+        payload = {"id": request_id, "op": op}
+        payload.update(params)
+        frame = codec.encode_frame(payload)
+        return self._submit(self._request_with_retries(request_id, frame))
+
+    async def _request_with_retries(self, request_id: int,
+                                    frame: bytes) -> Tuple[Any, RequestStats]:
+        stats = RequestStats(attempts=0)
+        self.counters.requests += 1
+        for attempt in range(self.max_retries + 1):
+            stats.attempts += 1
+            connection = await self._acquire()
+            try:
+                reply = await asyncio.wait_for(connection.request(frame),
+                                               timeout=self.timeout_s)
+            except asyncio.TimeoutError:
+                stats.timeouts += 1
+                self.counters.timeouts += 1
+                await self._replace(connection)
+                if attempt < self.max_retries:
+                    # Same convention as the simulator's routing retries:
+                    # one LOOKUP_RETRY message, flagged timed out.
+                    stats.retries += 1
+                    self.counters.retries += 1
+                    stats.trace_messages.append(
+                        {"kind": MessageKind.LOOKUP_RETRY, "timed_out": True})
+                    continue
+                raise RequestTimeout(
+                    f"request {request_id} ({self.max_retries + 1} attempts of "
+                    f"{self.timeout_s}s) got no reply") from None
+            except TransportError:
+                await self._replace(connection)
+                raise
+            else:
+                self._release(connection)
+                stats.bytes_sent += len(frame) * stats.attempts
+                stats.bytes_received += codec.frame_size(reply)
+                self.counters.bytes_sent += len(frame) * stats.attempts
+                self.counters.bytes_received += codec.frame_size(reply)
+                return self._unwrap(request_id, reply), stats
+        raise RequestTimeout(f"request {request_id} got no reply")  # pragma: no cover
+
+    @staticmethod
+    def _unwrap(request_id: int, reply: Dict[str, Any]) -> Any:
+        if reply.get("id") != request_id:
+            raise TransportError(f"reply id {reply.get('id')!r} does not match "
+                                 f"request id {request_id}")
+        if not reply.get("ok"):
+            raise TransportError(f"server error: {reply.get('error')}")
+        return reply.get("result")
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Close every pooled connection and stop the loop thread."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+
+        async def _drain() -> None:
+            while True:
+                try:
+                    self._pool.get_nowait().close()
+                except asyncio.QueueEmpty:
+                    return
+
+        self._submit(_drain())
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` was called."""
+        return self._closed
+
+    def __enter__(self) -> "NetClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class RemoteService:
+    """A :class:`~repro.api.services.CurrencyService` speaking the wire protocol.
+
+    Each operation forwards to the server, decodes the shared result types
+    back from JSON, and appends the transport-level retry messages to the
+    result's trace — so ``Session.messages_sent`` keeps counting the way it
+    does against the simulation backend, timeouts included.
+    """
+
+    def __init__(self, client: NetClient,
+                 service_name: Optional[str] = None) -> None:
+        self.client = client
+        self.service_name = service_name
+
+    def _call(self, op: str, **params: Any) -> Any:
+        params["service"] = self.service_name
+        result, stats = self.client.request(op, **params)
+        return result, stats
+
+    @staticmethod
+    def _account_transport(trace: OperationTrace, stats: RequestStats) -> None:
+        for message in stats.trace_messages:
+            trace.record(message["kind"], timed_out=message["timed_out"])
+
+    def insert(self, key: Any, data: Any, *, origin: Optional[int] = None,
+               unreachable: FrozenSet[int] = frozenset()) -> InsertResult:
+        """Write ``key`` to every replica holder, over the wire."""
+        payload, stats = self._call("insert", key=codec.encode_value(key),
+                                    data=codec.encode_value(data),
+                                    origin=origin,
+                                    unreachable=sorted(unreachable))
+        result = codec.insert_result_from_dict(payload)
+        self._account_transport(result.trace, stats)
+        return result
+
+    def retrieve(self, key: Any, *, origin: Optional[int] = None,
+                 unreachable: FrozenSet[int] = frozenset(),
+                 consistency: str = Consistency.CURRENT,
+                 max_probes: Optional[int] = None) -> RetrieveResult:
+        """Read ``key`` under the requested consistency level, over the wire."""
+        payload, stats = self._call("retrieve", key=codec.encode_value(key),
+                                    origin=origin,
+                                    unreachable=sorted(unreachable),
+                                    consistency=consistency,
+                                    max_probes=max_probes)
+        result = codec.retrieve_result_from_dict(payload)
+        self._account_transport(result.trace, stats)
+        return result
+
+    def insert_many(self, items: Sequence[Tuple[Any, Any]], *,
+                    origin: Optional[int] = None,
+                    unreachable: FrozenSet[int] = frozenset()) -> BatchInsertResult:
+        """Write several keys in one wire exchange."""
+        payload, stats = self._call(
+            "insert_many",
+            items=[[codec.encode_value(key), codec.encode_value(data)]
+                   for key, data in items],
+            origin=origin, unreachable=sorted(unreachable))
+        result = codec.batch_insert_result_from_dict(payload)
+        self._account_transport(result.trace, stats)
+        return result
+
+    def retrieve_many(self, keys: Sequence[Any], *, origin: Optional[int] = None,
+                      unreachable: FrozenSet[int] = frozenset(),
+                      consistency: str = Consistency.CURRENT,
+                      max_probes: Optional[int] = None) -> BatchRetrieveResult:
+        """Read several keys in one wire exchange."""
+        payload, stats = self._call(
+            "retrieve_many", keys=[codec.encode_value(key) for key in keys],
+            origin=origin, unreachable=sorted(unreachable),
+            consistency=consistency, max_probes=max_probes)
+        result = codec.batch_retrieve_result_from_dict(payload)
+        self._account_transport(result.trace, stats)
+        return result
+
+
+class RemoteCluster:
+    """The client-side handle on a served cluster, handing out sessions.
+
+    Mirrors the :class:`~repro.api.cluster.Cluster` surface the callers use
+    (``session()``, ``service()``, ``size``) so the two backends are drop-in
+    interchangeable behind the Session API.
+    """
+
+    def __init__(self, client: NetClient, info: Dict[str, Any]) -> None:
+        self.client = client
+        self.info = info
+        self.service_name = info.get("service", "ums")
+        self._services: Dict[Optional[str], RemoteService] = {}
+
+    def service(self, name: Optional[str] = None) -> RemoteService:
+        """The remote currency service registered under ``name`` on the server."""
+        key = name.lower() if isinstance(name, str) else None
+        instance = self._services.get(key)
+        if instance is None:
+            instance = RemoteService(self.client, key)
+            self._services[key] = instance
+        return instance
+
+    def session(self, origin: Optional[int] = None, *,
+                service: Optional[str] = None,
+                consistency: str = Consistency.CURRENT) -> Session:
+        """Open a standard :class:`Session` whose operations run over sockets."""
+        return Session(self, self.service(service), origin=origin,
+                       consistency=consistency)
+
+    @property
+    def size(self) -> int:
+        """Number of live peers on the served cluster (at connect time)."""
+        return self.info.get("peers", 0)
+
+    def ping(self) -> bool:
+        """Round-trip liveness check."""
+        result, _stats = self.client.request("ping")
+        return result == "pong"
+
+    def shutdown_server(self) -> None:
+        """Ask the server to shut down gracefully."""
+        self.client.request("shutdown")
+
+    def close(self) -> None:
+        """Close the underlying transport."""
+        self.client.close()
+
+    def __enter__(self) -> "RemoteCluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"RemoteCluster(address={self.client.address!r}, "
+                f"peers={self.size}, service={self.service_name!r})")
+
+
+def connect(address: Address, *, pool_size: int = 2, timeout_s: float = 5.0,
+            max_retries: int = 2) -> RemoteCluster:
+    """Connect to a :class:`~repro.net.server.NodeServer` and return a cluster.
+
+    ``address`` is ``(host, port)`` for TCP or a socket path for UDS.  The
+    handshake issues one ``info`` request, so a bad address fails fast here
+    rather than on the first operation.
+    """
+    client = NetClient(address, pool_size=pool_size, timeout_s=timeout_s,
+                       max_retries=max_retries)
+    try:
+        info, _stats = client.request("info")
+    except TransportError:
+        client.close()
+        raise
+    return RemoteCluster(client, info)

@@ -1,0 +1,320 @@
+"""Length-prefixed wire codec for the service-mode transport.
+
+Frames are ``4-byte big-endian length || UTF-8 JSON body``.  The body is a
+compact, key-sorted JSON object, so a frame's byte size is a deterministic
+function of its payload — :func:`frame_size` *measures* the serialised size of
+any payload (and :func:`wire_size_of` that of one
+:class:`~repro.dht.messages.Message`), giving the bytes-per-op accounting the
+simulator's :class:`~repro.dht.messages.MessageSizes` only models.
+
+On top of the framing, the codec defines the JSON encoding of the existing
+in-process types so the client and the server exchange *exactly* the objects
+the simulation backend produces:
+
+* :class:`~repro.dht.messages.Message` and
+  :class:`~repro.dht.messages.OperationTrace`
+  (:func:`message_to_dict`/:func:`trace_to_dict` and their inverses);
+* the shared result types of :mod:`repro.api.results`
+  (:func:`insert_result_to_dict`, :func:`retrieve_result_to_dict`, the batch
+  variants, and their inverses) — batched results rebuild the *shared* batch
+  trace so the in-process invariant (all per-key results reference one trace)
+  survives the wire;
+* :class:`~repro.core.timestamps.Timestamp` values, tagged so they round-trip
+  losslessly inside otherwise plain-JSON payloads.
+
+Keys and data must be JSON-serialisable (strings, numbers, booleans, ``None``,
+lists, dicts); tuples arrive back as lists, which is the standard JSON
+round-trip caveat.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.api.results import (
+    BatchInsertResult,
+    BatchRetrieveResult,
+    InsertResult,
+    RetrieveResult,
+)
+from repro.core.timestamps import Timestamp
+from repro.dht.messages import Message, MessageKind, MessageSizes, OperationTrace
+
+__all__ = [
+    "CodecError",
+    "FrameDecoder",
+    "MAX_FRAME_BYTES",
+    "batch_insert_result_from_dict",
+    "batch_insert_result_to_dict",
+    "batch_retrieve_result_from_dict",
+    "batch_retrieve_result_to_dict",
+    "decode_frame",
+    "decode_value",
+    "encode_frame",
+    "encode_value",
+    "frame_size",
+    "insert_result_from_dict",
+    "insert_result_to_dict",
+    "message_from_dict",
+    "message_to_dict",
+    "retrieve_result_from_dict",
+    "retrieve_result_to_dict",
+    "trace_from_dict",
+    "trace_to_dict",
+    "wire_size_of",
+]
+
+_HEADER = struct.Struct(">I")
+
+#: Hard upper bound on one frame's body, protecting both sides against a
+#: corrupt (or hostile) length prefix.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Tag key marking an encoded :class:`Timestamp` inside a JSON payload.
+_TIMESTAMP_TAG = "__repro.timestamp__"
+
+
+class CodecError(ValueError):
+    """A frame or payload could not be encoded or decoded."""
+
+
+# ------------------------------------------------------------------- framing
+def encode_frame(payload: Dict[str, Any]) -> bytes:
+    """Serialise ``payload`` as one length-prefixed JSON frame."""
+    try:
+        body = json.dumps(payload, separators=(",", ":"),
+                          sort_keys=True).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise CodecError(f"payload is not JSON-serialisable: {error}") from error
+    if len(body) > MAX_FRAME_BYTES:
+        raise CodecError(f"frame body of {len(body)} bytes exceeds the "
+                         f"{MAX_FRAME_BYTES}-byte limit")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_frame(data: bytes) -> Dict[str, Any]:
+    """Decode exactly one complete frame (header + body) back to its payload."""
+    decoder = FrameDecoder()
+    frames = decoder.feed(data)
+    if len(frames) != 1 or decoder.pending_bytes:
+        raise CodecError(f"expected exactly one complete frame, decoded "
+                         f"{len(frames)} with {decoder.pending_bytes} bytes left")
+    return frames[0]
+
+
+def frame_size(payload: Dict[str, Any]) -> int:
+    """The measured wire size (header + body) of ``payload``, in bytes."""
+    return len(encode_frame(payload))
+
+
+def wire_size_of(message: Message) -> int:
+    """The measured wire size of one :class:`Message`, in bytes."""
+    return frame_size(message_to_dict(message))
+
+
+class FrameDecoder:
+    """Incremental frame decoder: feed byte chunks, collect decoded payloads.
+
+    The decoder owns a reassembly buffer, so frames may arrive split across
+    arbitrarily many chunks (or many frames inside one chunk).
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """How many buffered bytes are waiting for the rest of their frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Dict[str, Any]]:
+        """Append ``data`` to the buffer and return every completed payload."""
+        self._buffer.extend(data)
+        return list(self._drain())
+
+    def _drain(self) -> Iterator[Dict[str, Any]]:
+        while len(self._buffer) >= _HEADER.size:
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise CodecError(f"frame header announces {length} bytes, over "
+                                 f"the {MAX_FRAME_BYTES}-byte limit")
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                return
+            body = bytes(self._buffer[_HEADER.size:end])
+            del self._buffer[:end]
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise CodecError(f"malformed frame body: {error}") from error
+            if not isinstance(payload, dict):
+                raise CodecError(f"frame body must be a JSON object, "
+                                 f"got {type(payload).__name__}")
+            yield payload
+
+
+# ------------------------------------------------------------------- values
+def encode_value(value: Any) -> Any:
+    """Encode an application value, tagging :class:`Timestamp` instances.
+
+    Containers are walked recursively; everything else must already be
+    JSON-serialisable (enforced by :func:`encode_frame` at send time).
+    """
+    if isinstance(value, Timestamp):
+        return {_TIMESTAMP_TAG: [encode_value(value.key), value.value]}
+    if isinstance(value, (list, tuple)):
+        return [encode_value(item) for item in value]
+    if isinstance(value, dict):
+        return {key: encode_value(item) for key, item in value.items()}
+    return value
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`: restore tagged :class:`Timestamp`\\ s."""
+    if isinstance(value, dict):
+        if set(value) == {_TIMESTAMP_TAG}:
+            key, counter = value[_TIMESTAMP_TAG]
+            return Timestamp(key=decode_value(key), value=counter)
+        return {key: decode_value(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    return value
+
+
+# ----------------------------------------------------------------- messages
+def message_to_dict(message: Message) -> Dict[str, Any]:
+    """Encode one traced :class:`Message` as a JSON-ready dict."""
+    return {"kind": message.kind.value, "size_bytes": message.size_bytes,
+            "source": message.source, "dest": message.dest,
+            "timed_out": message.timed_out}
+
+
+def message_from_dict(payload: Dict[str, Any]) -> Message:
+    """Rebuild a :class:`Message` encoded by :func:`message_to_dict`."""
+    try:
+        kind = MessageKind(payload["kind"])
+    except (KeyError, ValueError) as error:
+        raise CodecError(f"bad message payload {payload!r}: {error}") from error
+    return Message(kind=kind, size_bytes=payload["size_bytes"],
+                   source=payload.get("source"), dest=payload.get("dest"),
+                   timed_out=bool(payload.get("timed_out", False)))
+
+
+def trace_to_dict(trace: OperationTrace) -> Dict[str, Any]:
+    """Encode an :class:`OperationTrace` (sizes + ordered messages)."""
+    return {"sizes": {"control_bytes": trace.sizes.control_bytes,
+                      "data_bytes": trace.sizes.data_bytes},
+            "messages": [message_to_dict(message) for message in trace]}
+
+
+def trace_from_dict(payload: Dict[str, Any]) -> OperationTrace:
+    """Rebuild an :class:`OperationTrace` encoded by :func:`trace_to_dict`."""
+    sizes = payload.get("sizes", {})
+    trace = OperationTrace(sizes=MessageSizes(
+        control_bytes=sizes.get("control_bytes", 128),
+        data_bytes=sizes.get("data_bytes", 1024)))
+    for message in payload.get("messages", ()):
+        decoded = message_from_dict(message)
+        trace.record(decoded.kind, source=decoded.source, dest=decoded.dest,
+                     size_bytes=decoded.size_bytes, timed_out=decoded.timed_out)
+    return trace
+
+
+# ------------------------------------------------------------------ results
+def insert_result_to_dict(result: InsertResult, *,
+                          with_trace: bool = True) -> Dict[str, Any]:
+    """Encode an :class:`InsertResult` (the batch encoder omits the trace)."""
+    payload = {"key": encode_value(result.key),
+               "replicas_written": result.replicas_written,
+               "replicas_attempted": result.replicas_attempted,
+               "timestamp": encode_value(result.timestamp),
+               "version": result.version, "service": result.service}
+    if with_trace:
+        payload["trace"] = trace_to_dict(result.trace)
+    return payload
+
+
+def insert_result_from_dict(payload: Dict[str, Any], *,
+                            trace: Optional[OperationTrace] = None) -> InsertResult:
+    """Rebuild an :class:`InsertResult`; ``trace`` injects a shared batch trace."""
+    if trace is None:
+        trace = trace_from_dict(payload["trace"])
+    return InsertResult(key=decode_value(payload["key"]),
+                        replicas_written=payload["replicas_written"],
+                        replicas_attempted=payload["replicas_attempted"],
+                        trace=trace,
+                        timestamp=decode_value(payload.get("timestamp")),
+                        version=payload.get("version"),
+                        service=payload.get("service"))
+
+
+def retrieve_result_to_dict(result: RetrieveResult, *,
+                            with_trace: bool = True) -> Dict[str, Any]:
+    """Encode a :class:`RetrieveResult` (the batch encoder omits the trace)."""
+    payload = {"key": encode_value(result.key), "data": encode_value(result.data),
+               "found": result.found, "is_current": result.is_current,
+               "replicas_inspected": result.replicas_inspected,
+               "timestamp": encode_value(result.timestamp),
+               "latest_timestamp": encode_value(result.latest_timestamp),
+               "version": result.version, "ambiguous": result.ambiguous,
+               "consistency": result.consistency, "service": result.service}
+    if with_trace:
+        payload["trace"] = trace_to_dict(result.trace)
+    return payload
+
+
+def retrieve_result_from_dict(payload: Dict[str, Any], *,
+                              trace: Optional[OperationTrace] = None
+                              ) -> RetrieveResult:
+    """Rebuild a :class:`RetrieveResult`; ``trace`` injects a shared batch trace."""
+    if trace is None:
+        trace = trace_from_dict(payload["trace"])
+    return RetrieveResult(key=decode_value(payload["key"]),
+                          data=decode_value(payload.get("data")),
+                          found=payload["found"],
+                          is_current=payload["is_current"],
+                          replicas_inspected=payload["replicas_inspected"],
+                          trace=trace,
+                          timestamp=decode_value(payload.get("timestamp")),
+                          latest_timestamp=decode_value(
+                              payload.get("latest_timestamp")),
+                          version=payload.get("version"),
+                          ambiguous=payload.get("ambiguous", False),
+                          consistency=payload.get("consistency", "current"),
+                          service=payload.get("service"))
+
+
+def batch_insert_result_to_dict(result: BatchInsertResult) -> Dict[str, Any]:
+    """Encode a :class:`BatchInsertResult`: per-key results + one shared trace."""
+    return {"results": [insert_result_to_dict(item, with_trace=False)
+                        for item in result.results],
+            "trace": trace_to_dict(result.trace)}
+
+
+def batch_insert_result_from_dict(payload: Dict[str, Any]) -> BatchInsertResult:
+    """Rebuild a :class:`BatchInsertResult` around one shared trace object."""
+    trace = trace_from_dict(payload["trace"])
+    return BatchInsertResult(
+        results=tuple(insert_result_from_dict(item, trace=trace)
+                      for item in payload["results"]),
+        trace=trace)
+
+
+def batch_retrieve_result_to_dict(result: BatchRetrieveResult) -> Dict[str, Any]:
+    """Encode a :class:`BatchRetrieveResult`: per-key results + one shared trace."""
+    return {"results": [retrieve_result_to_dict(item, with_trace=False)
+                        for item in result.results],
+            "trace": trace_to_dict(result.trace),
+            "consistency": result.consistency}
+
+
+def batch_retrieve_result_from_dict(payload: Dict[str, Any]) -> BatchRetrieveResult:
+    """Rebuild a :class:`BatchRetrieveResult` around one shared trace object."""
+    trace = trace_from_dict(payload["trace"])
+    return BatchRetrieveResult(
+        results=tuple(retrieve_result_from_dict(item, trace=trace)
+                      for item in payload["results"]),
+        trace=trace,
+        consistency=payload.get("consistency", "current"))

@@ -1,0 +1,28 @@
+"""Shared fixtures for the service-mode (repro.net) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.server import NodeServer, ServerThread
+
+
+@pytest.fixture
+def serve():
+    """Factory: run a :class:`NodeServer` in a daemon thread, stopped at teardown.
+
+    Returns a callable taking the server plus the ``ServerThread`` bind
+    arguments (``host``/``port``/``uds``); every started thread is stopped
+    when the test finishes, whether it passed or not.
+    """
+    threads = []
+
+    def _serve(server: NodeServer, *, host="127.0.0.1", port=0, uds=None):
+        thread = ServerThread(server, host=host, port=port, uds=uds)
+        thread.start()
+        threads.append(thread)
+        return server
+
+    yield _serve
+    for thread in threads:
+        thread.stop()

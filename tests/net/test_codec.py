@@ -1,0 +1,171 @@
+"""Tests of the length-prefixed wire codec (repro.net.codec)."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.api.cluster import Cluster
+from repro.core.timestamps import Timestamp
+from repro.dht.messages import MessageKind, MessageSizes, OperationTrace
+from repro.net import codec
+
+
+class TestFraming:
+    def test_frame_round_trip(self):
+        payload = {"id": 7, "op": "insert", "key": "k", "data": {"v": [1, 2]}}
+        assert codec.decode_frame(codec.encode_frame(payload)) == payload
+
+    def test_frame_size_measures_header_plus_body(self):
+        payload = {"op": "ping"}
+        frame = codec.encode_frame(payload)
+        assert codec.frame_size(payload) == len(frame)
+        assert codec.frame_size(payload) > 4  # header + non-empty body
+
+    def test_many_frames_in_one_chunk(self):
+        payloads = [{"id": index} for index in range(5)]
+        chunk = b"".join(codec.encode_frame(payload) for payload in payloads)
+        decoder = codec.FrameDecoder()
+        assert decoder.feed(chunk) == payloads
+        assert decoder.pending_bytes == 0
+
+    def test_byte_by_byte_reassembly(self):
+        payloads = [{"id": 1, "op": "ping"}, {"id": 2, "op": "info"}]
+        stream = b"".join(codec.encode_frame(payload) for payload in payloads)
+        decoder = codec.FrameDecoder()
+        decoded = []
+        for index in range(len(stream)):
+            decoded.extend(decoder.feed(stream[index:index + 1]))
+        assert decoded == payloads
+        assert decoder.pending_bytes == 0
+
+    def test_pending_bytes_tracks_the_partial_frame(self):
+        frame = codec.encode_frame({"id": 1})
+        decoder = codec.FrameDecoder()
+        assert decoder.feed(frame[:-2]) == []
+        assert decoder.pending_bytes == len(frame) - 2
+
+    def test_decode_frame_rejects_trailing_bytes(self):
+        frame = codec.encode_frame({"id": 1})
+        with pytest.raises(codec.CodecError, match="exactly one"):
+            codec.decode_frame(frame + frame)
+
+    def test_oversize_header_is_rejected(self):
+        header = struct.pack(">I", codec.MAX_FRAME_BYTES + 1)
+        with pytest.raises(codec.CodecError, match="limit"):
+            codec.FrameDecoder().feed(header)
+
+    def test_oversize_payload_is_rejected_at_encode_time(self):
+        with pytest.raises(codec.CodecError, match="limit"):
+            codec.encode_frame({"blob": "x" * codec.MAX_FRAME_BYTES})
+
+    def test_malformed_body_is_rejected(self):
+        body = b"{not json"
+        with pytest.raises(codec.CodecError, match="malformed"):
+            codec.FrameDecoder().feed(struct.pack(">I", len(body)) + body)
+
+    def test_non_object_body_is_rejected(self):
+        body = b"[1,2,3]"
+        with pytest.raises(codec.CodecError, match="JSON object"):
+            codec.FrameDecoder().feed(struct.pack(">I", len(body)) + body)
+
+    def test_non_serialisable_payload_is_rejected(self):
+        with pytest.raises(codec.CodecError, match="not JSON-serialisable"):
+            codec.encode_frame({"bad": object()})
+
+
+class TestValueEncoding:
+    def test_timestamp_round_trip(self):
+        stamp = Timestamp(key="k", value=42)
+        assert codec.decode_value(codec.encode_value(stamp)) == stamp
+
+    def test_timestamps_nested_in_containers(self):
+        value = {"stamps": [Timestamp(key="a", value=1),
+                            {"inner": Timestamp(key="b", value=2)}],
+                 "plain": [1, "two", None, True]}
+        decoded = codec.decode_value(codec.encode_value(value))
+        assert decoded["stamps"][0] == Timestamp(key="a", value=1)
+        assert decoded["stamps"][1]["inner"] == Timestamp(key="b", value=2)
+        assert decoded["plain"] == [1, "two", None, True]
+
+    def test_tuples_come_back_as_lists(self):
+        assert codec.decode_value(codec.encode_value((1, 2))) == [1, 2]
+
+
+class TestMessageEncoding:
+    def test_trace_round_trip_preserves_order_sizes_and_timeouts(self):
+        trace = OperationTrace(sizes=MessageSizes(control_bytes=64,
+                                                  data_bytes=512))
+        trace.record_route([3, 7, 9], retries=2, timeouts=1)
+        trace.record(MessageKind.GET_REQUEST, source=9, dest=4)
+        rebuilt = codec.trace_from_dict(codec.trace_to_dict(trace))
+        assert rebuilt.message_count == trace.message_count
+        assert rebuilt.timeout_count == trace.timeout_count
+        assert rebuilt.total_bytes == trace.total_bytes
+        assert [m.kind for m in rebuilt.messages] == \
+            [m.kind for m in trace.messages]
+        assert [(m.source, m.dest) for m in rebuilt.messages] == \
+            [(m.source, m.dest) for m in trace.messages]
+
+    def test_message_from_dict_rejects_unknown_kinds(self):
+        with pytest.raises(codec.CodecError, match="bad message"):
+            codec.message_from_dict({"kind": "warp-drive", "size_bytes": 1})
+
+    def test_wire_size_of_measures_one_message(self):
+        trace = OperationTrace()
+        message = trace.record(MessageKind.GET_REQUEST, source=1, dest=2)
+        assert codec.wire_size_of(message) == \
+            codec.frame_size(codec.message_to_dict(message))
+
+
+@pytest.fixture(scope="module")
+def sample_results():
+    """Real results from a small in-process cluster (one of each type)."""
+    cluster = Cluster.build(peers=16, replicas=4, seed=5)
+    with cluster.session() as session:
+        insert = session.insert("k", {"v": 1})
+        retrieve = session.retrieve("k")
+        batch_insert = session.insert_many([("a", {"n": 1}), ("b", {"n": 2})])
+        batch_retrieve = session.retrieve_many(["a", "b", "missing"])
+    return insert, retrieve, batch_insert, batch_retrieve
+
+
+class TestResultEncoding:
+    def test_insert_result_round_trip(self, sample_results):
+        insert = sample_results[0]
+        rebuilt = codec.insert_result_from_dict(
+            codec.insert_result_to_dict(insert))
+        assert rebuilt.key == insert.key
+        assert rebuilt.replicas_written == insert.replicas_written
+        assert rebuilt.replicas_attempted == insert.replicas_attempted
+        assert rebuilt.timestamp == insert.timestamp
+        assert rebuilt.version == insert.version
+        assert rebuilt.service == insert.service
+        assert rebuilt.trace.message_count == insert.trace.message_count
+
+    def test_retrieve_result_round_trip(self, sample_results):
+        retrieve = sample_results[1]
+        rebuilt = codec.retrieve_result_from_dict(
+            codec.retrieve_result_to_dict(retrieve))
+        assert rebuilt.key == retrieve.key
+        assert rebuilt.data == retrieve.data
+        assert rebuilt.found and rebuilt.is_current
+        assert rebuilt.timestamp == retrieve.timestamp
+        assert rebuilt.latest_timestamp == retrieve.latest_timestamp
+        assert rebuilt.replicas_inspected == retrieve.replicas_inspected
+        assert rebuilt.consistency == retrieve.consistency
+        assert rebuilt.trace.message_count == retrieve.trace.message_count
+
+    def test_batch_results_rebuild_one_shared_trace(self, sample_results):
+        batch_insert, batch_retrieve = sample_results[2], sample_results[3]
+        rebuilt = codec.batch_insert_result_from_dict(
+            codec.batch_insert_result_to_dict(batch_insert))
+        assert all(item.trace is rebuilt.trace for item in rebuilt.results)
+        assert rebuilt.trace.message_count == batch_insert.trace.message_count
+        rebuilt = codec.batch_retrieve_result_from_dict(
+            codec.batch_retrieve_result_to_dict(batch_retrieve))
+        assert all(item.trace is rebuilt.trace for item in rebuilt.results)
+        assert [item.found for item in rebuilt.results] == \
+            [item.found for item in batch_retrieve.results]
+        assert rebuilt.results[0].data == batch_retrieve.results[0].data

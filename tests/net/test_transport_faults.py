@@ -1,0 +1,182 @@
+"""Timeout/retry accounting under injected transport faults (repro.net).
+
+The contract under test: the net client's bounded retries must land in the
+**same accounting** the simulator uses for routing retries — one
+``LOOKUP_RETRY`` trace message with ``timed_out=True`` per retry, exactly
+what :meth:`OperationTrace.record_route(retries=k, timeouts=k)` records — so
+``Session.messages_sent`` and the transport counters stay comparable across
+backends for a known fault schedule.
+
+Fault-index semantics (see :class:`FaultSchedule`): indices count *executed*
+data-plane requests, retried executions included.  Dropping a reply does not
+undo the execution (at-least-once), so after the first drop the server-side
+RNG stream diverges from a fault-free run — drop tests therefore assert
+accounting parity, while *delay-only* schedules (no re-execution) preserve
+full value parity with the in-process backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.cluster import Cluster
+from repro.dht.messages import MessageKind, OperationTrace
+from repro.net.client import RequestTimeout, connect
+from repro.net.server import FaultSchedule, NodeServer
+
+#: Fast transport knobs so a dropped reply costs ~0.2s, not the 5s default.
+FAST = dict(timeout_s=0.2, max_retries=2)
+
+
+def reference_retry_tail(retries: int) -> list:
+    """What the simulator records for ``retries`` timed-out routing retries."""
+    trace = OperationTrace()
+    trace.record_route([], retries=retries, timeouts=retries)
+    return [(message.kind, message.timed_out) for message in trace.messages]
+
+
+class TestDroppedReplies:
+    def test_single_drop_is_one_retry_one_timeout(self, serve):
+        # Data-plane execution index 0 is dropped; the retry (index 1) lands.
+        server = serve(NodeServer(peers=16, replicas=4, seed=11,
+                                  fault_schedule=FaultSchedule(
+                                      drop_replies={0})))
+        with connect(server.tcp_address, **FAST) as cluster:
+            with cluster.session() as session:
+                result = session.insert("k", {"v": 1})
+            counters = cluster.client.counters
+        assert counters.timeouts == 1
+        assert counters.retries == 1
+        assert counters.reconnects == 1
+        # The retry shows up in the result trace under the simulator's
+        # convention: a LOOKUP_RETRY message flagged timed out.
+        tail = [(message.kind, message.timed_out)
+                for message in result.trace.messages][-1:]
+        assert tail == reference_retry_tail(1)
+        # At-least-once: both executions ran on the server.
+        assert server.fault_schedule._sequence == 2
+
+    def test_multi_drop_schedule_accounts_every_retry(self, serve):
+        # Executed-request indices: op0 -> 0 (ok), op1 -> 1 (dropped),
+        # retry of op1 -> 2 (ok), op2 -> 3 (dropped), retry -> 4 (ok).
+        server = serve(NodeServer(peers=16, replicas=4, seed=11,
+                                  fault_schedule=FaultSchedule(
+                                      drop_replies={1, 3})))
+        with connect(server.tcp_address, **FAST) as cluster:
+            with cluster.session() as session:
+                results = [session.insert(f"k{index}", {"op": index})
+                           for index in range(3)]
+            counters = cluster.client.counters
+        assert counters.timeouts == 2
+        assert counters.retries == 2
+        traces = [[(message.kind, message.timed_out)
+                   for message in result.trace.messages
+                   if message.kind is MessageKind.LOOKUP_RETRY
+                   and message.timed_out]
+                  for result in results]
+        assert traces[0] == []
+        assert traces[1] == reference_retry_tail(1)
+        assert traces[2] == reference_retry_tail(1)
+        # The retried operations still completed and are readable.
+        with connect(server.tcp_address, **FAST) as cluster:
+            with cluster.session() as session:
+                for index in range(3):
+                    assert session.retrieve(f"k{index}").data == {"op": index}
+
+    def test_retries_count_into_session_accounting(self, serve):
+        """Session totals include the transport retries, trace-accounted."""
+        server = serve(NodeServer(peers=16, replicas=4, seed=11,
+                                  fault_schedule=FaultSchedule(
+                                      drop_replies={0})))
+        with connect(server.tcp_address, **FAST) as cluster:
+            with cluster.session() as session:
+                result = session.insert("k", {"v": 1})
+                # The session counts exactly what the trace records — the
+                # transport retry included, not tallied anywhere on the side.
+                assert session.messages_sent == result.trace.message_count
+            retried = [message for message in result.trace.messages
+                       if message.kind is MessageKind.LOOKUP_RETRY
+                       and message.timed_out]
+            assert len(retried) == cluster.client.counters.retries == 1
+
+    def test_exhausted_retries_raise_request_timeout(self, serve):
+        server = serve(NodeServer(peers=16, replicas=4, seed=11,
+                                  fault_schedule=FaultSchedule(
+                                      drop_replies={0, 1, 2})))
+        with connect(server.tcp_address, timeout_s=0.15,
+                     max_retries=2) as cluster:
+            with cluster.session() as session:
+                with pytest.raises(RequestTimeout, match="3 attempts"):
+                    session.insert("k", {"v": 1})
+            assert cluster.client.counters.timeouts == 3
+            # retries <= timeouts: the final attempt raises instead.
+            assert cluster.client.counters.retries == 2
+
+    def test_zero_retries_fail_on_first_drop(self, serve):
+        server = serve(NodeServer(peers=16, replicas=4, seed=11,
+                                  fault_schedule=FaultSchedule(
+                                      drop_replies={0})))
+        with connect(server.tcp_address, timeout_s=0.15,
+                     max_retries=0) as cluster:
+            with cluster.session() as session:
+                with pytest.raises(RequestTimeout):
+                    session.insert("k", {"v": 1})
+            assert cluster.client.counters.timeouts == 1
+            assert cluster.client.counters.retries == 0
+
+
+class TestDelayedReplies:
+    def test_delay_only_schedule_preserves_value_parity_with_sim(self, serve):
+        """A slow reply is *not* a fault: no retries, identical results."""
+        seed, build = 11, dict(peers=16, replicas=4)
+        operations = [("insert", "a", {"v": 1}), ("insert", "b", {"v": 2}),
+                      ("retrieve", "a", None), ("retrieve", "b", None)]
+
+        sim = Cluster.build(seed=seed, **build)
+        with sim.session() as session:
+            expected = [session.insert(key, data) if op == "insert"
+                        else session.retrieve(key)
+                        for op, key, data in operations]
+            expected_messages = session.messages_sent
+
+        server = serve(NodeServer(seed=seed, fault_schedule=FaultSchedule(
+            delay_replies={0: 0.05, 2: 0.08}), **build))
+        with connect(server.tcp_address, timeout_s=5.0) as cluster:
+            with cluster.session() as session:
+                actual = [session.insert(key, data) if op == "insert"
+                          else session.retrieve(key)
+                          for op, key, data in operations]
+                actual_messages = session.messages_sent
+            assert cluster.client.counters.timeouts == 0
+            assert cluster.client.counters.retries == 0
+
+        for want, got in zip(expected, actual):
+            assert got.timestamp == want.timestamp
+            assert got.trace.message_count == want.trace.message_count
+            if hasattr(want, "data"):
+                assert got.data == want.data
+                assert got.is_current == want.is_current
+        assert actual_messages == expected_messages
+
+
+class TestFaultSchedule:
+    def test_indices_count_only_data_plane_requests(self, serve):
+        server = serve(NodeServer(peers=16, replicas=4, seed=11,
+                                  fault_schedule=FaultSchedule(
+                                      drop_replies={0})))
+        with connect(server.tcp_address, **FAST) as cluster:
+            # info (handshake) and ping are control requests: never faulted,
+            # and they must not consume fault indices.
+            assert cluster.ping()
+            assert cluster.client.counters.timeouts == 0
+            with cluster.session() as session:
+                session.insert("k", {"v": 1})  # index 0: dropped, retried
+            assert cluster.client.counters.timeouts == 1
+
+    def test_schedule_accessors(self):
+        schedule = FaultSchedule(drop_replies=(2,), delay_replies={5: 0.5})
+        assert [schedule.next_index() for _ in range(3)] == [0, 1, 2]
+        assert not schedule.should_drop(1)
+        assert schedule.should_drop(2)
+        assert schedule.delay_for(5) == 0.5
+        assert schedule.delay_for(0) == 0.0

@@ -292,3 +292,80 @@ class TestExperimentsCommand:
         assert len(list(cache.glob("*.json"))) > 0
         cached = report("--cache-dir", str(cache))
         assert cached == serial
+
+
+class TestServeAndLoadgenCommands:
+    def test_serve_parser_defaults(self):
+        arguments = cli.build_parser().parse_args(["serve"])
+        assert arguments.command == "serve"
+        assert arguments.port == 9207
+        assert arguments.max_inflight == 32
+        assert not arguments.no_tcp
+
+    def test_serve_without_listeners_is_rejected(self):
+        arguments = cli.build_parser().parse_args(["serve", "--no-tcp"])
+        with pytest.raises(SystemExit, match="--uds"):
+            cli.serve_command(arguments, stream=io.StringIO())
+
+    def test_loadgen_parser_defaults(self):
+        arguments = cli.build_parser().parse_args(["loadgen"])
+        assert arguments.backend == "sim"
+        assert arguments.arrival == "poisson"
+        assert arguments.ops == 200
+
+    def test_loadgen_net_backend_requires_an_address(self):
+        arguments = cli.build_parser().parse_args(
+            ["loadgen", "--backend", "tcp"])
+        with pytest.raises(SystemExit, match="--address"):
+            cli.loadgen_command(arguments, stream=io.StringIO())
+
+    def test_loadgen_rejects_unknown_backend_and_arrival(self):
+        arguments = cli.build_parser().parse_args(
+            ["loadgen", "--backend", "carrier-pigeon"])
+        with pytest.raises(SystemExit, match="unknown backend"):
+            cli.loadgen_command(arguments, stream=io.StringIO())
+        arguments = cli.build_parser().parse_args(
+            ["loadgen", "--arrival", "tsunami"])
+        with pytest.raises(SystemExit, match="arrival model"):
+            cli.loadgen_command(arguments, stream=io.StringIO())
+
+    def test_loadgen_sim_writes_the_percentile_artifact(self, tmp_path):
+        output = tmp_path / "load.json"
+        stream = io.StringIO()
+        arguments = cli.build_parser().parse_args(
+            ["loadgen", "--ops", "30", "--duration", "0.2", "--peers", "16",
+             "--no-pacing", "--output", str(output)])
+        assert cli.loadgen_command(arguments, stream=stream) == 0
+        text = stream.getvalue()
+        assert "throughput" in text and "p50/p95/p99" in text
+        payload = json.loads(output.read_text())
+        assert payload["backend"] == "sim"
+        assert payload["operations"] == 30
+        assert {"p50", "p95", "p99"} <= set(payload["latency_ms"])
+
+    def test_loadgen_json_output_matches_the_artifact(self, tmp_path, capsys):
+        output = tmp_path / "load.json"
+        exit_code = cli.main(
+            ["loadgen", "--ops", "20", "--duration", "0.2", "--peers", "12",
+             "--no-pacing", "--json", "--output", str(output)])
+        assert exit_code == 0
+        stdout = capsys.readouterr().out
+        printed = json.loads(stdout[:stdout.rindex("}") + 1])
+        assert printed == json.loads(output.read_text())
+
+    def test_loadgen_drives_a_served_cluster_end_to_end(self, tmp_path):
+        from repro.net.server import NodeServer, ServerThread
+
+        output = tmp_path / "load.json"
+        with ServerThread(NodeServer(peers=16, replicas=4, seed=9)) as thread:
+            host, port = thread.server.tcp_address
+            arguments = cli.build_parser().parse_args(
+                ["loadgen", "--backend", "tcp", "--address", f"{host}:{port}",
+                 "--ops", "20", "--duration", "0.2", "--no-pacing",
+                 "--output", str(output), "--shutdown"])
+            assert cli.loadgen_command(arguments, stream=io.StringIO()) == 0
+            # --shutdown stopped the server gracefully.
+            thread.server.cluster  # still usable in-process
+        payload = json.loads(output.read_text())
+        assert payload["backend"] == "tcp"
+        assert payload["transport"]["requests"] >= 21
