@@ -34,7 +34,7 @@ an import cycle.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Any, Tuple
 
 __all__ = [
     "BatchInsertResult",
@@ -71,7 +71,8 @@ _EXPORTS = {
 }
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
+    """PEP 562 lazy loader for the re-exported API names."""
     module_name = _EXPORTS.get(name)
     if module_name is None:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

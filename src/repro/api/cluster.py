@@ -28,7 +28,19 @@ same stack across the old and new construction paths.
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+from types import TracebackType
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    cast,
+)
 
 from repro.api import services as service_registry
 from repro.api.results import (
@@ -39,6 +51,13 @@ from repro.api.results import (
     RetrieveResult,
 )
 from repro.api.services import CurrencyService
+
+if TYPE_CHECKING:
+    from repro.core.kts import KeyBasedTimestampService
+    from repro.core.replication import ReplicationScheme
+    from repro.core.ums import UpdateManagementService
+    from repro.dht.messages import OperationTrace
+    from repro.dht.network import DHTNetwork
 
 __all__ = ["Cluster", "Session"]
 
@@ -82,7 +101,9 @@ class Session:
     def __enter__(self) -> "Session":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: Optional[Type[BaseException]],
+                 exc: Optional[BaseException],
+                 tb: Optional[TracebackType]) -> None:
         self.close()
 
     def close(self) -> None:
@@ -91,13 +112,14 @@ class Session:
 
     @property
     def closed(self) -> bool:
+        """Whether :meth:`close` has been called on this session."""
         return self._closed
 
     def _check_open(self) -> None:
         if self._closed:
             raise RuntimeError("operation on a closed Session")
 
-    def _account(self, trace) -> None:
+    def _account(self, trace: "OperationTrace") -> None:
         self.operations += 1
         self.messages_sent += trace.message_count
 
@@ -164,7 +186,9 @@ class Cluster:
     what the paper's comparison requires.
     """
 
-    def __init__(self, *, network, replication, kts, service_name: str,
+    def __init__(self, *, network: "DHTNetwork",
+                 replication: "ReplicationScheme",
+                 kts: Optional["KeyBasedTimestampService"], service_name: str,
                  service_seeds: Dict[str, int],
                  service_options: Optional[Dict[str, Dict[str, Any]]] = None) -> None:
         self.network = network
@@ -290,7 +314,8 @@ class Cluster:
     # ----------------------------------------------------------- diagnostics
     def currency_probability(self, key: Any) -> float:
         """Empirical probability of currency and availability ``p_t`` for ``key``."""
-        return self.service("ums").currency_probability(key)
+        ums = cast("UpdateManagementService", self.service("ums"))
+        return ums.currency_probability(key)
 
     @property
     def size(self) -> int:

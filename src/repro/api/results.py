@@ -68,6 +68,7 @@ class Consistency:
 
     @classmethod
     def validate(cls, level: str) -> str:
+        """Return ``level`` unchanged, or raise ``ValueError`` if unknown."""
         if level not in cls.ALL:
             raise ValueError(f"unknown consistency level {level!r}; "
                              f"expected one of {cls.ALL}")
@@ -156,16 +157,16 @@ class RetrieveResult:
 class _BatchResult:
     """Common behaviour of the batched result containers."""
 
-    results: Tuple
+    results: Tuple[Any, ...]
     trace: OperationTrace
 
     def __len__(self) -> int:
         return len(self.results)
 
-    def __iter__(self) -> Iterator:
+    def __iter__(self) -> Iterator[Any]:
         return iter(self.results)
 
-    def __getitem__(self, index: int):
+    def __getitem__(self, index: int) -> Any:
         return self.results[index]
 
     @property

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import random
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -48,6 +49,11 @@ from typing import (
     Tuple,
     runtime_checkable,
 )
+
+if TYPE_CHECKING:
+    from repro.core.kts import KeyBasedTimestampService
+    from repro.core.replication import ReplicationScheme
+    from repro.dht.network import DHTNetwork
 
 from repro.api.results import (
     BatchInsertResult,
@@ -147,10 +153,12 @@ def service_names() -> Tuple[str, ...]:
     return tuple(sorted(_FACTORIES))
 
 
-def create_service(name: str, *, network, replication, kts=None,
+def create_service(name: str, *, network: "DHTNetwork",
+                   replication: "ReplicationScheme",
+                   kts: Optional["KeyBasedTimestampService"] = None,
                    seed: Optional[int] = None,
                    rng: Optional[random.Random] = None,
-                   **extra) -> CurrencyService:
+                   **extra: Any) -> CurrencyService:
     """Build the currency service registered under ``name``.
 
     ``network``, ``replication`` and ``kts`` are the substrate every caller
@@ -170,7 +178,9 @@ def create_service(name: str, *, network, replication, kts=None,
 
 
 # --------------------------------------------------------- built-in services
-def _build_ums(*, network, replication, kts, rng, **extra) -> CurrencyService:
+def _build_ums(*, network: "DHTNetwork", replication: "ReplicationScheme",
+               kts: Optional["KeyBasedTimestampService"],
+               rng: random.Random, **extra: Any) -> CurrencyService:
     # Imported lazily: repro.core imports the shared result types from
     # repro.api, so the factory must not import repro.core at module level.
     from repro.core.ums import UpdateManagementService
@@ -181,7 +191,9 @@ def _build_ums(*, network, replication, kts, rng, **extra) -> CurrencyService:
     return UpdateManagementService(network, kts, replication, rng=rng, **extra)
 
 
-def _build_brk(*, network, replication, kts, rng, **extra) -> CurrencyService:
+def _build_brk(*, network: "DHTNetwork", replication: "ReplicationScheme",
+               kts: Optional["KeyBasedTimestampService"],
+               rng: random.Random, **extra: Any) -> CurrencyService:
     from repro.core.baseline import BricksService
 
     # BRK has no timestamping service; ``kts`` is accepted and ignored.

@@ -25,6 +25,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional
 
+# reprolint: allow[REP005] reason=shared result types deliberately live in repro.api so sim and service stacks return identical objects (tests/api/test_shared_results.py)
 from repro.api.results import Consistency, InsertResult, RetrieveResult
 from repro.core.analysis import (
     expected_probes,
@@ -144,6 +145,7 @@ def build_service_stack(num_peers: int = 64, *, num_replicas: int = 10,
     — and reproduces the exact same stack as ``Cluster.build`` with the same
     seed.
     """
+    # reprolint: allow[REP005] reason=lazy factory shim kept for backwards compatibility; delegates upward at call time only (tests/core/test_service_stack.py)
     from repro.api.cluster import Cluster
 
     cluster = Cluster.build(num_peers, protocol=protocol, service="ums",

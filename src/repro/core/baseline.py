@@ -31,6 +31,7 @@ import random
 import warnings
 from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+# reprolint: allow[REP005] reason=shared result types deliberately live in repro.api so sim and service stacks return identical objects (tests/api/test_shared_results.py)
 from repro.api.results import (
     BatchInsertResult,
     BatchRetrieveResult,

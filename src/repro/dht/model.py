@@ -16,8 +16,9 @@ This module provides:
 from __future__ import annotations
 
 import abc
+import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 __all__ = [
     "DHTProtocol",
@@ -132,7 +133,8 @@ class DHTProtocol(abc.ABC):
     def _clear_version_caches(self) -> None:
         """Hook: subclasses drop any additional version-keyed caches here."""
 
-    def _memoised_responsible(self, point: int, compute) -> int:
+    def _memoised_responsible(self, point: int,
+                              compute: Callable[[int], int]) -> int:
         """Bounded point -> responsible memo, valid for the current version."""
         cached = self._rsp_cache.get(point)
         if cached is None:
@@ -142,7 +144,8 @@ class DHTProtocol(abc.ABC):
             self._rsp_cache[point] = cached
         return cached
 
-    def _cached_nodes(self, materialise) -> Tuple[int, ...]:
+    def _cached_nodes(self, materialise: Callable[[], Tuple[int, ...]]
+                      ) -> Tuple[int, ...]:
         """Node tuple for the current version (random-origin draws are hot)."""
         if self._nodes_cache is None:
             self._nodes_cache = materialise()
@@ -222,7 +225,7 @@ class DHTProtocol(abc.ABC):
         """
 
     # ---------------------------------------------------------------- utilities
-    def random_node(self, rng) -> int:
+    def random_node(self, rng: random.Random) -> int:
         """A uniformly random live node (raises ``IndexError`` when empty)."""
         members = self.nodes()
         return members[rng.randrange(len(members))]

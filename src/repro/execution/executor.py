@@ -28,7 +28,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Callable, List, Optional, Tuple
+import pathlib
+from typing import Callable, Dict, List, Optional, Tuple, Union, cast
 
 from repro.execution.cache import RunCache
 from repro.execution.plan import RunPlan, RunPoint
@@ -93,7 +94,8 @@ class Executor:
     """Runs plans serially or via a process pool, with an optional run cache."""
 
     def __init__(self, jobs: Optional[int] = None, *,
-                 cache_dir=None, use_cache: bool = True,
+                 cache_dir: Optional[Union[str, pathlib.Path]] = None,
+                 use_cache: bool = True,
                  progress: Optional[ProgressCallback] = None) -> None:
         self.jobs = resolve_jobs(jobs)
         self.cache = RunCache(cache_dir) if cache_dir is not None else None
@@ -140,7 +142,8 @@ class Executor:
                 on_result(index, points[index], repetition_results)
 
         if self.jobs > 1 and len(jobs) > 1:
-            collected: dict = {index: [] for index in pending}
+            collected: Dict[int, List[RunResult]] = {index: []
+                                                     for index in pending}
             with multiprocessing.Pool(min(self.jobs, len(jobs))) as pool:
                 payloads = [(points[index], repetition)
                             for index, repetition in jobs]
@@ -163,7 +166,7 @@ class Executor:
                         self.progress(completed, total, point)
                 finish_point(index, repetition_results)
 
-        return results  # type: ignore[return-value]
+        return cast(List[List[RunResult]], results)
 
     def run(self, plan: RunPlan,
             on_result: Optional[ResultCallback] = None) -> List[RunResult]:

@@ -28,8 +28,9 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import pathlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.simulation.config import SimulationParameters
 from repro.simulation.scenarios.spec import ScenarioSpec
@@ -98,7 +99,7 @@ class RunPoint:
     def for_scenario(cls, scenario: ScenarioSpec,
                      parameters: SimulationParameters, *,
                      repetitions: int = 1, label: Optional[str] = None,
-                     **overrides) -> "RunPoint":
+                     **overrides: Any) -> "RunPoint":
         """A scenario point with :func:`run_scenario`'s override precedence.
 
         The spec's ``overrides`` are applied over ``parameters`` and keyword
@@ -172,7 +173,7 @@ class RunPlan:
     def add_scenario(self, scenario: ScenarioSpec,
                      parameters: SimulationParameters, *,
                      repetitions: int = 1, label: Optional[str] = None,
-                     **overrides) -> RunPoint:
+                     **overrides: Any) -> RunPoint:
         """Append a scenario point (see :meth:`RunPoint.for_scenario`)."""
         point = RunPoint.for_scenario(scenario, parameters,
                                       repetitions=repetitions, label=label,
@@ -233,13 +234,12 @@ class RunPlan:
         return self.points[index]
 
 
-def plan_artifact_path(directory, plan: RunPlan, suffix: str = ".json"):
+def plan_artifact_path(directory: Union[str, pathlib.Path], plan: RunPlan,
+                       suffix: str = ".json") -> pathlib.Path:
     """The canonical artifact path of a plan: ``<name>-<hash12><suffix>``.
 
     Benchmarks write their JSON outputs here so an artifact is a reproducible
     function of the named plan: same grid → same file name, changed grid →
     a new, distinguishable one.
     """
-    import pathlib
-
     return pathlib.Path(directory) / f"{plan.name}-{plan.plan_hash[:12]}{suffix}"

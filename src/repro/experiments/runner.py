@@ -142,11 +142,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     executor = Executor(arguments.jobs, cache_dir=arguments.cache_dir,
                         use_cache=not arguments.no_cache,
                         progress=_progress_printer() if arguments.progress else None)
+    # reprolint: allow[REP001] reason=report-only elapsed metadata; experiment values are seed-determined (tests/experiments/test_reporting.py)
     started = time.time()
     tables = run_all_experiments(arguments.scale, seed=arguments.seed,
                                  protocol=arguments.protocol,
                                  include_ablations=not arguments.no_ablations,
                                  executor=executor)
+    # reprolint: allow[REP001] reason=report-only elapsed metadata; experiment values are seed-determined (tests/experiments/test_reporting.py)
     elapsed = time.time() - started
     if arguments.output:
         with open(arguments.output, "w", encoding="utf-8") as handle:

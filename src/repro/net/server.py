@@ -119,6 +119,7 @@ class NodeServer:
         self._connections: set = set()
         self._stopping = False
         self._stopped: Optional[asyncio.Event] = None
+        self._shutdown_task: Optional["asyncio.Task"] = None
         self._tcp_address: Optional[Tuple[str, int]] = None
         self._uds_path: Optional[str] = None
 
@@ -217,7 +218,8 @@ class NodeServer:
                     "replicas": self.cluster.replication.factor,
                     "version": __version__}
         if op == "shutdown":
-            asyncio.get_running_loop().create_task(self.stop())
+            self._shutdown_task = asyncio.get_running_loop().create_task(
+                self.stop())
             return "stopping"
         if op in _DATA_OPS:
             return self._dispatch_data_op(op, request)

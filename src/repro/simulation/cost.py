@@ -55,6 +55,7 @@ class NetworkCostModel:
         if self.latency_mean_s < 0 or self.bandwidth_mean_bps <= 0:
             raise ValueError("latency must be >= 0 and bandwidth must be > 0")
         if self.rng is None:
+            # reprolint: allow[REP002] reason=documented convenience default for ad-hoc use; every replayed run injects a seeded rng (tests/simulation/test_cost.py)
             self.rng = random.Random()
         self._latency_factor = 1.0
         self._bandwidth_factor = 1.0

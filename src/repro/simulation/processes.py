@@ -69,6 +69,7 @@ class PoissonProcess:
         self.sim = sim
         self.rate = rate
         self.action = action
+        # reprolint: allow[REP002] reason=documented convenience default for ad-hoc use; scenario runs inject a seeded rng (tests/simulation/test_processes.py)
         self.rng = rng if rng is not None else random.Random()
         self.until = until
         self.arrivals = 0

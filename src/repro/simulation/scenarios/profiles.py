@@ -59,7 +59,7 @@ class WorkloadProfile:
 
     def to_config(self) -> Dict[str, Any]:
         """The dict configuration that rebuilds this profile via :func:`build_profile`."""
-        if self.name in ARCHETYPES and ARCHETYPES[self.name] == self:
+        if ARCHETYPES.get(self.name) == self:
             return {"archetype": self.name}
         return {"name": self.name,
                 "update_rate_multiplier": self.update_rate_multiplier,

@@ -1,0 +1,27 @@
+"""Shared fixtures for the reprolint analysis suite.
+
+The ``tools`` package lives at the repository root (not under ``src``), so
+the suite puts the root on ``sys.path`` explicitly — the tests then run
+regardless of whether pytest was started from the root or a subdirectory.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+
+@pytest.fixture()
+def repo_root() -> pathlib.Path:
+    """The repository root (where DESIGN.md and tools/ live)."""
+    return REPO_ROOT
+
+
+@pytest.fixture()
+def design_path(repo_root: pathlib.Path) -> pathlib.Path:
+    """The repository DESIGN.md, source of the REP005 layer map."""
+    return repo_root / "DESIGN.md"

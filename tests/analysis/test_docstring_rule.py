@@ -1,0 +1,96 @@
+"""REP006: the docstring-coverage gate folded into reprolint."""
+
+import importlib.util
+import pathlib
+import textwrap
+
+from tools import check_docstrings
+from tools.reprolint import DOCSTRING_COVERAGE_THRESHOLD, lint_paths
+
+
+def write_module(tmp_path, name, source):
+    package = tmp_path / "repro"
+    package.mkdir(exist_ok=True)
+    init = package / "__init__.py"
+    if not init.exists():
+        init.write_text('"""Fixture package."""\n', encoding="utf-8")
+    (package / name).write_text(textwrap.dedent(source), encoding="utf-8")
+    return package
+
+
+def test_threshold_matches_the_dynamic_docs_gate(repo_root):
+    """reprolint, tools/check_docstrings and tests/test_docs.py must agree."""
+    docs_test = repo_root / "tests" / "test_docs.py"
+    spec = importlib.util.spec_from_file_location("docs_gate", docs_test)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert module.DOCSTRING_COVERAGE_THRESHOLD == DOCSTRING_COVERAGE_THRESHOLD
+
+
+def test_rep006_fires_below_threshold(tmp_path):
+    package = write_module(tmp_path, "bare.py", '''
+    """Fixture module whose functions are undocumented."""
+
+
+    def alpha():
+        return 1
+
+
+    def beta():
+        return 2
+
+
+    def gamma():
+        return 3
+    ''')
+    result = lint_paths([package])
+    rep006 = [f for f in result.findings if f.rule == "REP006"]
+    assert rep006, result.findings
+    assert result.docstring_coverage["percent"] < DOCSTRING_COVERAGE_THRESHOLD
+    assert any("alpha" in finding.message for finding in rep006)
+
+
+def test_rep006_quiet_at_full_coverage(tmp_path):
+    package = write_module(tmp_path, "documented.py", '''
+    """Fixture module with a fully documented surface."""
+
+
+    def alpha():
+        """Return one."""
+        return 1
+    ''')
+    result = lint_paths([package])
+    assert [f for f in result.findings if f.rule == "REP006"] == []
+    assert result.docstring_coverage["percent"] == 100.0
+
+
+def test_rep006_cannot_be_suppressed_by_pragma(tmp_path):
+    package = write_module(tmp_path, "bare.py", '''
+    """Fixture: a pragma must not excuse the aggregate coverage gate."""
+
+    # reprolint: allow[REP006] reason=trying to dodge the aggregate gate
+
+
+    def alpha():
+        return 1
+
+
+    def beta():
+        return 2
+
+
+    def gamma():
+        return 3
+    ''')
+    result = lint_paths([package])
+    assert any(f.rule == "REP006" for f in result.findings)
+
+
+def test_rep006_agrees_with_check_docstrings_on_src(repo_root):
+    """The folded rule measures exactly what the standalone tool measures."""
+    src = repo_root / "src" / "repro"
+    documented, total, _ = check_docstrings.coverage(pathlib.Path(src))
+    result = lint_paths([src])
+    assert result.docstring_coverage["documented"] == documented
+    assert result.docstring_coverage["total"] == total
+    assert [f for f in result.findings if f.rule == "REP006"] == []

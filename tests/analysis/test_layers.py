@@ -1,0 +1,128 @@
+"""REP005: the DESIGN.md layer map and the upward-import checker."""
+
+import textwrap
+
+import pytest
+
+from tools.reprolint import lint_source, parse_layer_map
+from tools.reprolint.layers import LayerMap
+
+
+@pytest.fixture()
+def layer_map(design_path):
+    return parse_layer_map(design_path)
+
+
+def lint(source, module, layer_map):
+    return lint_source(textwrap.dedent(source), module=module,
+                       path=f"{module.replace('.', '/')}.py",
+                       layer_map=layer_map)
+
+
+def rep005(result):
+    return [finding for finding in result.findings if finding.rule == "REP005"]
+
+
+# --------------------------------------------------------------- map parsing
+def test_design_layer_map_parses(layer_map):
+    assert layer_map.rank_of("repro.core") is not None
+    assert layer_map.rank_of("repro.api") is not None
+    assert layer_map.rank_of("repro.dht.chord") is not None
+
+
+def test_design_layer_map_orders_the_stack(layer_map):
+    # Top-of-stack consumers sit above the execution layer, which sits above
+    # the service/API layers, which sit above the DHT substrate.
+    assert layer_map.rank_of("repro.cli") < layer_map.rank_of("repro.execution")
+    assert layer_map.rank_of("repro.execution") < layer_map.rank_of("repro.api")
+    assert layer_map.rank_of("repro.api") < layer_map.rank_of("repro.core")
+    assert layer_map.rank_of("repro.core") < layer_map.rank_of("repro.dht.chord")
+
+
+def test_unmapped_sibling_inherits_parent_rank(layer_map):
+    # repro.dht.messages is not named in the diagram; it inherits the
+    # bottom-most repro.dht rank so substrate-internal imports stay legal.
+    assert layer_map.rank_of("repro.dht.messages") is not None
+
+
+def test_missing_layer_map_heading_raises(tmp_path):
+    rogue = tmp_path / "DESIGN.md"
+    rogue.write_text("# A design document without the map\n", encoding="utf-8")
+    with pytest.raises(ValueError):
+        parse_layer_map(rogue)
+
+
+# ------------------------------------------------------------ upward imports
+def test_upward_import_is_flagged(layer_map):
+    result = lint("""
+    from repro.experiments.runner import main
+    """, "repro.dht.chord", layer_map)
+    assert len(rep005(result)) == 1
+    assert "upward import" in rep005(result)[0].message
+
+
+def test_second_upward_import_fixture(layer_map):
+    result = lint("""
+    import repro.execution.plan
+    """, "repro.core.ums_fixture", layer_map)
+    assert len(rep005(result)) == 1
+
+
+def test_downward_import_is_allowed(layer_map):
+    result = lint("""
+    from repro.dht.network import DHTNetwork
+    from repro.core.replication import ReplicationScheme
+    """, "repro.api.cluster_fixture", layer_map)
+    assert rep005(result) == []
+
+
+def test_same_layer_and_root_imports_are_allowed(layer_map):
+    result = lint("""
+    import repro
+    from repro.core.kts import KeyBasedTimestampService
+    """, "repro.core.ums_fixture", layer_map)
+    assert rep005(result) == []
+
+
+def test_package_may_import_its_own_submodules(layer_map):
+    result = lint("""
+    from repro.dht.network import DHTNetwork
+    """, "repro.dht", layer_map)
+    assert rep005(result) == []
+
+
+def test_type_checking_imports_are_exempt(layer_map):
+    result = lint("""
+    from typing import TYPE_CHECKING
+
+    if TYPE_CHECKING:
+        from repro.execution.plan import RunPlan
+
+    def describe(plan: "RunPlan") -> str:
+        return plan.name
+    """, "repro.core.fixture", layer_map)
+    assert rep005(result) == []
+
+
+# ------------------------------------------------------------- net isolation
+def test_importing_net_outside_cli_is_flagged(layer_map):
+    result = lint("""
+    from repro.net.codec import encode
+    """, "repro.simulation.fixture", layer_map)
+    assert len(rep005(result)) == 1
+    assert "repro.net" in rep005(result)[0].message
+
+
+def test_cli_and_net_may_import_net(layer_map):
+    for module in ("repro.cli", "repro.net.server_fixture"):
+        result = lint("""
+        from repro.net.codec import encode
+        """, module, layer_map)
+        assert rep005(result) == []
+
+
+def test_synthetic_map_upward_logic():
+    synthetic = LayerMap(ranks={"repro.top": 0, "repro.bottom": 1})
+    assert synthetic.is_upward("repro.bottom", "repro.top")
+    assert not synthetic.is_upward("repro.top", "repro.bottom")
+    assert not synthetic.is_upward("repro.top", "repro")

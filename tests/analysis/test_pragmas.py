@@ -1,0 +1,108 @@
+"""Pragma semantics: suppression, scope, and the reason= requirement."""
+
+import textwrap
+
+from tools.reprolint import lint_source, parse_pragmas
+
+
+def lint(source, module="repro.core.fixture"):
+    return lint_source(textwrap.dedent(source), module=module,
+                       path=f"{module.replace('.', '/')}.py")
+
+
+def test_trailing_pragma_suppresses_its_line():
+    result = lint("""
+    import time
+
+    def stamp():
+        return time.time()  # reprolint: allow[REP001] reason=report-only metadata (tests/analysis)
+    """)
+    assert result.findings == []
+    assert len(result.suppressed) == 1
+    assert result.suppressed[0].finding.rule == "REP001"
+    assert "report-only" in result.suppressed[0].reason
+
+
+def test_standalone_pragma_covers_the_next_line():
+    result = lint("""
+    import time
+
+    def stamp():
+        # reprolint: allow[REP001] reason=report-only metadata (tests/analysis)
+        return time.time()
+    """)
+    assert result.findings == []
+    assert len(result.suppressed) == 1
+
+
+def test_pragma_does_not_reach_beyond_the_next_line():
+    result = lint("""
+    import time
+
+    def stamp():
+        # reprolint: allow[REP001] reason=only the next line is covered
+        first = time.time()
+        return time.time()
+    """)
+    assert [finding.rule for finding in result.findings] == ["REP001"]
+    assert len(result.suppressed) == 1
+
+
+def test_pragma_only_suppresses_the_named_rule():
+    result = lint("""
+    import random
+
+    def make_rng():
+        return random.Random()  # reprolint: allow[REP001] reason=wrong rule named
+    """)
+    assert [finding.rule for finding in result.findings] == ["REP002"]
+    assert result.suppressed == []
+
+
+def test_pragma_without_reason_is_inert_and_flagged_as_rep000():
+    result = lint("""
+    import time
+
+    def stamp():
+        return time.time()  # reprolint: allow[REP001]
+    """)
+    rules = sorted(finding.rule for finding in result.findings)
+    assert rules == ["REP000", "REP001"]
+    assert result.suppressed == []
+
+
+def test_pragma_with_empty_reason_is_inert():
+    result = lint("""
+    import time
+
+    def stamp():
+        return time.time()  # reprolint: allow[REP001] reason=
+    """)
+    rules = sorted(finding.rule for finding in result.findings)
+    assert rules == ["REP000", "REP001"]
+
+
+def test_pragma_can_name_multiple_rules():
+    result = lint("""
+    import time
+    import random
+
+    def jitter():
+        # reprolint: allow[REP001, REP002] reason=fixture exercising multi-rule pragmas
+        return time.time() + random.random()
+    """)
+    assert result.findings == []
+    assert len(result.suppressed) == 2
+
+
+def test_parse_pragmas_reports_location_and_rules():
+    lines = [
+        "x = 1",
+        "y = 2  # reprolint: allow[REP003] reason=because tests",
+    ]
+    pragmas = parse_pragmas(lines)
+    assert len(pragmas) == 1
+    assert pragmas[0].line == 2
+    assert pragmas[0].rules == ("REP003",)
+    assert pragmas[0].covers == (2,)
+    assert pragmas[0].valid

@@ -1,0 +1,8 @@
+"""Module entry point for ``python -m tools.reprolint``."""
+
+import sys
+
+from tools.reprolint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,63 @@
+"""``# reprolint: allow[RULE] reason=...`` escape pragmas.
+
+A pragma suppresses findings of the named rule(s) on the line it annotates:
+either the line the pragma comment sits on (trailing comment), or — when the
+pragma is a standalone comment line — the next source line.  A pragma
+**must** carry a non-empty ``reason=``; the reason is the written
+justification reviewers (and ``--list-rules``) see, and by convention it
+names the dynamic test that pins the excused behaviour.  A pragma without a
+reason never suppresses anything and is itself reported as rule ``REP000``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["Pragma", "parse_pragmas"]
+
+_PRAGMA_RE = re.compile(
+    r"#\s*reprolint:\s*allow\[(?P<rules>[A-Za-z0-9_,\s]*)\]\s*(?P<rest>.*)$")
+_REASON_RE = re.compile(r"reason\s*=\s*(?P<reason>.+)$")
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed pragma comment.
+
+    ``line`` is the 1-indexed line of the comment; ``covers`` the lines it
+    suppresses on (the pragma line itself, plus the next line when the
+    pragma stands alone on its own line).  ``rules`` is the tuple of rule
+    ids inside ``allow[...]`` and ``reason`` the justification text
+    (empty string when missing — such a pragma is inert and flagged).
+    """
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+    covers: Tuple[int, ...]
+
+    @property
+    def valid(self) -> bool:
+        """Whether the pragma can suppress findings (has rules and a reason)."""
+        return bool(self.rules) and bool(self.reason.strip())
+
+
+def parse_pragmas(source_lines: Sequence[str]) -> List[Pragma]:
+    """Extract every reprolint pragma from ``source_lines`` (1-indexed)."""
+    pragmas: List[Pragma] = []
+    for index, line in enumerate(source_lines, start=1):
+        match = _PRAGMA_RE.search(line)
+        if match is None:
+            continue
+        rules = tuple(rule.strip().upper()
+                      for rule in match.group("rules").split(",")
+                      if rule.strip())
+        reason_match = _REASON_RE.search(match.group("rest").strip())
+        reason = reason_match.group("reason").strip() if reason_match else ""
+        standalone = line[:match.start()].strip() == ""
+        covers = (index, index + 1) if standalone else (index,)
+        pragmas.append(Pragma(line=index, rules=rules, reason=reason,
+                              covers=covers))
+    return pragmas
