@@ -26,17 +26,34 @@ ops/sec regression for any (overlay, operation) cell::
 The regression threshold is deliberately loose (wall-clock on shared CI
 runners is noisy); it is meant to catch order-of-magnitude slowdowns such as
 an accidentally disabled cache, not single-digit percent drift.
+
+Scaling curves
+--------------
+``--peers`` accepts a comma-separated list (``--peers 1000,10000,100000``);
+the first count drives the full per-operation grid (and the regression
+check), while *every* count contributes a point to the report's ``scaling``
+section: build seconds, build throughput, ``tracemalloc`` peak bytes and
+bytes-per-peer for the network build, and mixed-workload ops/sec.  When
+``--peers`` is omitted the point list follows ``REPRO_BENCH_SCALE``:
+``tiny`` → 200, ``quick`` (default) → 1k and 10k, ``paper`` → 1k, 10k and
+100k peers.  ``--budget-seconds`` bounds the wall clock: once the budget is
+spent, remaining scaling points are skipped (and named in the report, so a
+truncated curve is never mistaken for a complete one).  ``--representation``
+selects the overlay storage layout (``columnar``, the default, or
+``object``).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import platform
 import sys
 import time
-from typing import Dict, List
+import tracemalloc
+from typing import Dict, List, Optional
 
 from repro.dht.hashing import HashFamily
 from repro.dht.network import DHTNetwork
@@ -45,9 +62,17 @@ DEFAULT_OVERLAYS = ("chord", "can", "kademlia")
 DEFAULT_OPERATIONS = ("put", "get", "mixed", "put_many", "get_many")
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 
+#: Peer-count schedule per ``REPRO_BENCH_SCALE`` when ``--peers`` is omitted.
+SCALE_PEER_COUNTS = {
+    "tiny": (200,),
+    "quick": (1_000, 10_000),
+    "paper": (1_000, 10_000, 100_000),
+}
+
 #: Meta keys that must match between a report and the baseline it is checked
 #: against — comparing ops/sec across different workload shapes is meaningless.
-_CONFIG_KEYS = ("peers", "ops", "keys", "replicas", "bits", "seed", "batch_size")
+_CONFIG_KEYS = ("peers", "ops", "keys", "replicas", "bits", "seed",
+                "batch_size", "representation")
 
 
 def _calibrate(rounds: int = 30_000) -> float:
@@ -69,8 +94,27 @@ def _calibrate(rounds: int = 30_000) -> float:
     return rounds / elapsed
 
 
-def _build_network(overlay: str, peers: int, seed: int, bits: int) -> DHTNetwork:
-    return DHTNetwork.build(peers, protocol=overlay, bits=bits, seed=seed)
+def _build_network(overlay: str, peers: int, seed: int, bits: int,
+                   representation: str) -> DHTNetwork:
+    return DHTNetwork.build(peers, protocol=overlay, bits=bits, seed=seed,
+                            representation=representation)
+
+
+def _measure_build_memory(overlay: str, peers: int, seed: int, bits: int,
+                          representation: str) -> int:
+    """``tracemalloc`` peak bytes of one network build.
+
+    Runs a *separate* build under tracing so the timed build stays untraced
+    (tracemalloc roughly doubles allocation cost and would corrupt the
+    build-seconds scaling curve).
+    """
+    tracemalloc.start()
+    try:
+        _build_network(overlay, peers, seed, bits, representation)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
 
 
 def _workload(ops: int, keys: int, fns) -> List[tuple]:
@@ -120,7 +164,7 @@ def _run_operation(network: DHTNetwork, operation: str, schedule,
 
 def run_suite(*, peers: int, ops: int, keys: int, replicas: int, bits: int,
               seed: int, overlays, operations, batch_size: int,
-              label: str) -> Dict:
+              label: str, representation: str = "columnar") -> Dict:
     report: Dict = {
         "meta": {
             "label": label,
@@ -131,6 +175,7 @@ def run_suite(*, peers: int, ops: int, keys: int, replicas: int, bits: int,
             "bits": bits,
             "seed": seed,
             "batch_size": batch_size,
+            "representation": representation,
             "python": platform.python_version(),
             "calibration_ops_per_sec": _calibrate(),
         },
@@ -140,12 +185,17 @@ def run_suite(*, peers: int, ops: int, keys: int, replicas: int, bits: int,
         family = HashFamily(bits=bits, seed=seed)
         fns = family.sample_many(replicas)
         build_start = time.perf_counter()
-        network = _build_network(overlay, peers, seed, bits)
+        network = _build_network(overlay, peers, seed, bits, representation)
         build_seconds = time.perf_counter() - build_start
+        peak_bytes = _measure_build_memory(overlay, peers, seed, bits,
+                                           representation)
         schedule = _workload(ops, keys, fns)
         cells: Dict[str, Dict] = {
             "build": {"ops": peers, "seconds": build_seconds,
-                      "ops_per_sec": peers / build_seconds},
+                      "ops_per_sec": (peers / build_seconds if build_seconds
+                                      else float("inf")),
+                      "tracemalloc_peak_bytes": peak_bytes,
+                      "bytes_per_peer": peak_bytes / peers},
         }
         # ``put`` runs first so the retrieval operations find stored data.
         for operation in operations:
@@ -160,6 +210,71 @@ def run_suite(*, peers: int, ops: int, keys: int, replicas: int, bits: int,
                   f"({seconds:.3f}s for {len(schedule)} ops)")
         report["results"][overlay] = cells
     return report
+
+
+def run_scaling_point(*, peers: int, ops: int, keys: int, replicas: int,
+                      bits: int, seed: int, overlays, batch_size: int,
+                      representation: str) -> Dict:
+    """One point of the build/memory/mixed-throughput scaling curves.
+
+    Records, per overlay: build seconds and build throughput (untraced),
+    ``tracemalloc`` peak bytes and bytes-per-peer of a second traced build,
+    and ops/sec of the standard mixed put/get workload.
+    """
+    point: Dict = {"peers": peers, "overlays": {}}
+    for overlay in overlays:
+        family = HashFamily(bits=bits, seed=seed)
+        fns = family.sample_many(replicas)
+        build_start = time.perf_counter()
+        network = _build_network(overlay, peers, seed, bits, representation)
+        build_seconds = time.perf_counter() - build_start
+        peak_bytes = _measure_build_memory(overlay, peers, seed, bits,
+                                           representation)
+        schedule = _workload(ops, keys, fns)
+        mixed_seconds = _run_operation(network, "mixed", schedule, batch_size)
+        point["overlays"][overlay] = {
+            "build_seconds": build_seconds,
+            "build_ops_per_sec": (peers / build_seconds if build_seconds
+                                  else float("inf")),
+            "tracemalloc_peak_bytes": peak_bytes,
+            "bytes_per_peer": peak_bytes / peers,
+            "mixed_ops": len(schedule),
+            "mixed_seconds": mixed_seconds,
+            "mixed_ops_per_sec": (len(schedule) / mixed_seconds
+                                  if mixed_seconds else float("inf")),
+        }
+        cell = point["overlays"][overlay]
+        print(f"scale {overlay:>9s} @{peers:>7d} peers: "
+              f"build {build_seconds:7.2f}s "
+              f"({cell['build_ops_per_sec']:>9.0f} joins/sec), "
+              f"{cell['bytes_per_peer']:>7.0f} B/peer, "
+              f"mixed {cell['mixed_ops_per_sec']:>9.0f} ops/sec")
+    return point
+
+
+def run_scaling_curves(peer_counts, *, budget_seconds: Optional[float] = None,
+                       **point_kwargs) -> Dict:
+    """Run :func:`run_scaling_point` for each count under a wall-clock budget.
+
+    Returns ``{"points": [...], "skipped_peer_counts": [...]}``.  At least the
+    first point always runs; later points are skipped once the budget is
+    spent, and the skipped counts are recorded so a truncated curve is
+    explicit in the artifact.
+    """
+    deadline = (time.monotonic() + budget_seconds
+                if budget_seconds is not None else None)
+    points: List[Dict] = []
+    skipped: List[int] = []
+    for count in peer_counts:
+        if points and deadline is not None and time.monotonic() >= deadline:
+            skipped.append(count)
+            continue
+        points.append(run_scaling_point(peers=count, **point_kwargs))
+    if skipped:
+        print(f"budget of {budget_seconds:.0f}s spent; skipped scaling "
+              f"point(s) at {', '.join(str(c) for c in skipped)} peers",
+              file=sys.stderr)
+    return {"points": points, "skipped_peer_counts": skipped}
 
 
 def check_regression(report: Dict, baseline_path: pathlib.Path,
@@ -214,9 +329,27 @@ def check_regression(report: Dict, baseline_path: pathlib.Path,
     return 0
 
 
+def _resolve_peer_counts(peers_arg: Optional[str]) -> List[int]:
+    """``--peers`` as a list of counts, or the REPRO_BENCH_SCALE schedule."""
+    if peers_arg:
+        counts = [int(value) for value in peers_arg.split(",") if value]
+        if not counts or any(count < 1 for count in counts):
+            raise ValueError(f"invalid --peers value {peers_arg!r}")
+        return counts
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if scale not in SCALE_PEER_COUNTS:
+        raise ValueError("REPRO_BENCH_SCALE must be "
+                         f"{'/'.join(SCALE_PEER_COUNTS)}, got {scale!r}")
+    return list(SCALE_PEER_COUNTS[scale])
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--peers", type=int, default=1000)
+    parser.add_argument("--peers", default=None,
+                        help="peer count, or comma-separated counts for the "
+                             "scaling curves (first count drives the full "
+                             "per-operation grid); default follows "
+                             "REPRO_BENCH_SCALE (tiny/quick/paper)")
     parser.add_argument("--ops", type=int, default=2000,
                         help="operations per (overlay, operation) cell")
     parser.add_argument("--keys", type=int, default=256,
@@ -228,7 +361,14 @@ def main(argv=None) -> int:
     parser.add_argument("--batch-size", type=int, default=64)
     parser.add_argument("--overlays", default=",".join(DEFAULT_OVERLAYS))
     parser.add_argument("--operations", default=",".join(DEFAULT_OPERATIONS))
+    parser.add_argument("--representation", default="columnar",
+                        choices=("columnar", "object"),
+                        help="overlay storage representation under test")
     parser.add_argument("--label", default="hotpath")
+    parser.add_argument("--budget-seconds", type=float, default=None,
+                        help="wall-clock budget for the scaling curves; "
+                             "points past the budget are skipped (and listed "
+                             "in the report)")
     parser.add_argument("--output", type=pathlib.Path, default=None,
                         help="where to write the JSON report "
                              "(default benchmarks/results/bench_hotpath.json)")
@@ -238,12 +378,22 @@ def main(argv=None) -> int:
                         help="fail when baseline/now ops/sec exceeds this ratio")
     args = parser.parse_args(argv)
 
+    peer_counts = _resolve_peer_counts(args.peers)
+    overlays = [name for name in args.overlays.split(",") if name]
+
     report = run_suite(
-        peers=args.peers, ops=args.ops, keys=args.keys, replicas=args.replicas,
-        bits=args.bits, seed=args.seed,
-        overlays=[name for name in args.overlays.split(",") if name],
+        peers=peer_counts[0], ops=args.ops, keys=args.keys,
+        replicas=args.replicas, bits=args.bits, seed=args.seed,
+        overlays=overlays,
         operations=[name for name in args.operations.split(",") if name],
-        batch_size=args.batch_size, label=args.label)
+        batch_size=args.batch_size, label=args.label,
+        representation=args.representation)
+    report["meta"]["peer_counts"] = peer_counts
+    report["scaling"] = run_scaling_curves(
+        peer_counts, budget_seconds=args.budget_seconds,
+        ops=args.ops, keys=args.keys, replicas=args.replicas, bits=args.bits,
+        seed=args.seed, overlays=overlays, batch_size=args.batch_size,
+        representation=args.representation)
 
     output = args.output
     if output is None:

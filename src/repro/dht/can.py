@@ -179,7 +179,7 @@ class CanSpace(DHTProtocol):
                 f"node id {node_id} outside identifier space [0, 2^{self.bits})")
         self._departed.pop(node_id, None)
         if not self._zones:
-            self._zones[node_id] = [self._whole_space()]
+            self._grant_zone(node_id, self._whole_space())
             self._membership_changed()
             return set()
         # The newcomer picks a random point; the owner of the zone containing
@@ -194,13 +194,13 @@ class CanSpace(DHTProtocol):
             # splittable zone instead.
             zone = self._largest_splittable_zone(owner)
             first, second = zone.split()
-        self._zones[owner].remove(zone)
+        self._revoke_zone(owner, zone)
         if first.contains(join_point):
             newcomer_zone, owner_zone = first, second
         else:
             newcomer_zone, owner_zone = second, first
-        self._zones[owner].append(owner_zone)
-        self._zones[node_id] = [newcomer_zone]
+        self._grant_zone(owner, owner_zone)
+        self._grant_zone(node_id, newcomer_zone)
         self._membership_changed()
         return {owner}
 
@@ -208,14 +208,36 @@ class CanSpace(DHTProtocol):
                     now: float = 0.0) -> None:
         if node_id not in self._zones:
             raise NoSuchPeerError(node_id)
-        abandoned = self._zones.pop(node_id)
+        abandoned = self._drop_node_zones(node_id)
         self._departed[node_id] = (reason, now)
         self._membership_changed()
         if not self._zones:
             return
         for zone in abandoned:
             takeover = self._takeover_candidate(zone)
-            self._zones[takeover].append(zone)
+            self._grant_zone(takeover, zone)
+
+    # --------------------------------------------------------- zone-table hooks
+    # Every mutation of the node -> zones table funnels through these three
+    # methods so alternative representations (the columnar packed zone table in
+    # :mod:`repro.dht.columnar.can`) can maintain their point-lookup indexes
+    # without re-implementing the join/leave protocol above.
+
+    def _grant_zone(self, node_id: int, zone: Zone) -> None:
+        """Assign ``zone`` to ``node_id`` (creating its entry on first grant)."""
+        zones = self._zones.get(node_id)
+        if zones is None:
+            self._zones[node_id] = [zone]
+        else:
+            zones.append(zone)
+
+    def _revoke_zone(self, node_id: int, zone: Zone) -> None:
+        """Take ``zone`` away from ``node_id`` (it is about to be split)."""
+        self._zones[node_id].remove(zone)
+
+    def _drop_node_zones(self, node_id: int) -> List[Zone]:
+        """Remove ``node_id`` from the zone table, returning its zones."""
+        return self._zones.pop(node_id)
 
     def _takeover_candidate(self, zone: Zone) -> int:
         """The neighbour with the smallest owned volume takes over ``zone``."""

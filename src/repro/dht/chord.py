@@ -23,7 +23,7 @@ from __future__ import annotations
 import bisect
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, MutableSequence, Optional, Sequence, Set, Tuple
 
 from repro.dht.errors import (
     EmptyNetworkError,
@@ -46,7 +46,7 @@ class _FingerTable:
     actually changed since the snapshot.
     """
 
-    entries: List[int]
+    entries: Sequence[int]
     refreshed_at: float
     version: int = 0
 
@@ -77,12 +77,14 @@ class ChordRing(DHTProtocol):
         self.bits = bits
         self.stabilization_interval = stabilization_interval
         self._rng = rng if rng is not None else random.Random(0)
-        self._members: List[int] = []          # sorted node identifiers
+        # Sorted node identifiers.  Declared as a mutable sequence so the
+        # columnar subclass can swap in a packed array('Q') column.
+        self._members: MutableSequence[int] = []
         self._member_set: Set[int] = set()
         self._departed: Dict[int, Tuple[str, float]] = {}
         self._fingers: Dict[int, _FingerTable] = {}
         self._init_version_caches()
-        self._current_fingers: Dict[int, List[int]] = {}
+        self._current_fingers: Dict[int, Sequence[int]] = {}
 
     def _clear_version_caches(self) -> None:
         self._current_fingers.clear()
@@ -216,7 +218,7 @@ class ChordRing(DHTProtocol):
                                               refreshed_at=now,
                                               version=self.version)
 
-    def _compute_fingers(self, node_id: int) -> List[int]:
+    def _compute_fingers(self, node_id: int) -> Sequence[int]:
         """Finger ``i`` is the successor of ``node_id + 2^i`` over live members.
 
         Results are memoised per membership version (shared with
@@ -225,7 +227,7 @@ class ChordRing(DHTProtocol):
         entries = self._current_fingers.get(node_id)
         if entries is not None:
             return entries
-        entries = []
+        entries: List[int] = []
         seen: Set[int] = set()
         for exponent in range(self.bits):
             target = (node_id + (1 << exponent)) % self.space_size

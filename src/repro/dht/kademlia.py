@@ -53,7 +53,16 @@ from __future__ import annotations
 import bisect
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    List,
+    MutableSequence,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.dht.errors import (
     EmptyNetworkError,
@@ -259,7 +268,9 @@ class KademliaOverlay(DHTProtocol):
         self.k = k
         self.alpha = alpha
         self._rng = rng if rng is not None else random.Random(0)
-        self._members: List[int] = []          # sorted live node identifiers
+        # Sorted live node identifiers.  Declared as a mutable sequence so the
+        # columnar subclass can swap in a packed array('Q') column.
+        self._members: MutableSequence[int] = []
         self._member_set: Set[int] = set()
         self._departed: Dict[int, Tuple[str, float]] = {}
         self._tables: Dict[int, RoutingTable] = {}
@@ -299,7 +310,7 @@ class KademliaOverlay(DHTProtocol):
         self._member_set.add(node_id)
         self._departed.pop(node_id, None)
         self._membership_changed()
-        table = RoutingTable(node_id, self.bits, self.k)
+        table = self._new_table(node_id)
         self._tables[node_id] = table
         if affected:
             # Join protocol: seed the table with a bootstrap contact (a
@@ -315,6 +326,16 @@ class KademliaOverlay(DHTProtocol):
                 self._observe(node_id, previous_owner)
                 self._observe(previous_owner, node_id)
         return affected
+
+    def _new_table(self, node_id: int) -> RoutingTable:
+        """Representation hook: build the routing table of a joining node.
+
+        The columnar overlay (:mod:`repro.dht.columnar.kademlia`) overrides
+        this to return packed-array-backed buckets; the routing algorithms
+        above only use the :class:`RoutingTable` API, so the two
+        representations stay behaviourally identical.
+        """
+        return RoutingTable(node_id, self.bits, self.k)
 
     def _deepest_bucket_members(self, node_id: int) -> Set[int]:
         """The live nodes sharing the longest common prefix with ``node_id``.

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Union
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.dht import registry
 from repro.dht.errors import (
@@ -103,6 +103,12 @@ class DHTNetwork:
         Passed to the Chord overlay: how often (simulated seconds) peers
         refresh their finger tables.  Governs how strongly failures degrade
         routing (paper Figure 11).
+    representation:
+        Storage representation used when ``protocol`` is a string:
+        ``"columnar"`` (packed arrays, the default) or ``"object"`` (the
+        reference object graphs).  ``None`` defers to the
+        ``REPRO_OVERLAY_REPRESENTATION`` environment variable, then the
+        registry default; both representations behave bit-identically.
     seed / rng:
         Randomness source for peer identifiers and random origins.
     track_responsibility:
@@ -115,12 +121,14 @@ class DHTNetwork:
                  bits: int = 32, stabilization_interval: float = 30.0,
                  seed: Optional[int] = None, rng: Optional[random.Random] = None,
                  message_sizes: Optional[MessageSizes] = None,
-                 track_responsibility: bool = False) -> None:
+                 track_responsibility: bool = False,
+                 representation: Optional[str] = None) -> None:
         if rng is not None and seed is not None:
             raise ValueError("pass either 'seed' or 'rng', not both")
         self.rng = rng if rng is not None else random.Random(seed)
         if isinstance(protocol, str):
-            protocol = self._build_protocol(protocol, bits, stabilization_interval)
+            protocol = self._build_protocol(protocol, bits, stabilization_interval,
+                                            representation)
         self.protocol = protocol
         self.bits = protocol.bits
         self.message_sizes = message_sizes if message_sizes is not None else MessageSizes()
@@ -131,12 +139,20 @@ class DHTNetwork:
         self._peers: Dict[int, PeerState] = {}
         self._departed_peers: Dict[int, PeerState] = {}
         self._observers: List[NetworkObserver] = []
+        # Interned trace-free routes: untraced lookups for the same
+        # (origin, responsible) pair return one shared frozen RouteResult
+        # instead of allocating a fresh path tuple + result pair per
+        # operation.  Version-keyed like every responsibility cache.
+        self._route_cache: Dict[Tuple[int, int], RouteResult] = {}
+        self._route_cache_version = -1
 
     def _build_protocol(self, name: str, bits: int,
-                        stabilization_interval: float) -> DHTProtocol:
+                        stabilization_interval: float,
+                        representation: Optional[str] = None) -> DHTProtocol:
         return registry.create_overlay(
             name, bits=bits, stabilization_interval=stabilization_interval,
-            rng=random.Random(self.rng.getrandbits(64)))
+            rng=random.Random(self.rng.getrandbits(64)),
+            representation=representation)
 
     # ------------------------------------------------------------- construction
     @classmethod
@@ -329,10 +345,9 @@ class DHTNetwork:
         point = hash_fn(key)
         if trace is None:
             responsible = self.protocol.responsible_for(point)
-            path = (origin,) if origin == responsible else (origin, responsible)
-            route = RouteResult(path=path, responsible=responsible)
             return LookupResult(key=key, hash_name=hash_fn.name, point=point,
-                                responsible=responsible, route=route)
+                                responsible=responsible,
+                                route=self._fast_route(origin, responsible))
         route = self.protocol.route(origin, point, now=self.now)
         trace.record_route(route.path, retries=route.retries,
                            timeouts=route.timeouts)
@@ -343,6 +358,25 @@ class DHTNetwork:
         if origin is not None and origin in self._peers:
             return origin
         return self.random_alive_peer()
+
+    def _fast_route(self, origin: int, responsible: int) -> RouteResult:
+        """The interned trace-free route for ``(origin, responsible)``.
+
+        The returned :class:`RouteResult` only names the endpoints (nobody is
+        accounting for hops on the trace-free path), so identical pairs can
+        share one frozen instance instead of allocating per operation.
+        """
+        if self.protocol.version != self._route_cache_version:
+            self._route_cache.clear()
+            self._route_cache_version = self.protocol.version
+        route = self._route_cache.get((origin, responsible))
+        if route is None:
+            path = (origin,) if origin == responsible else (origin, responsible)
+            route = RouteResult(path=path, responsible=responsible)
+            if len(self._route_cache) >= 65536:
+                self._route_cache.clear()
+            self._route_cache[(origin, responsible)] = route
+        return route
 
     # --------------------------------------------------------------------- put
     def put(self, key: Any, hash_fn: PairwiseIndependentHash, data: Any, *,
@@ -356,17 +390,25 @@ class DHTNetwork:
         ``unreachable`` injects the paper's motivating fault scenario — an
         update that cannot reach one of the replica holders.
         """
-        lookup = self.lookup(key, hash_fn, origin=origin, trace=trace)
-        responsible = lookup.responsible
-        if responsible in unreachable:
-            if trace is not None:
+        if trace is None:
+            # Trace-free fast path: same origin resolution (identical RNG
+            # stream), same responsible, no result-object churn per hop.
+            self._resolve_origin(origin)
+            point = hash_fn(key)
+            responsible = self.protocol.responsible_for(point)
+            if responsible in unreachable:
+                return False
+        else:
+            lookup = self.lookup(key, hash_fn, origin=origin, trace=trace)
+            responsible = lookup.responsible
+            point = lookup.point
+            if responsible in unreachable:
                 trace.record(MessageKind.PUT_REQUEST, dest=responsible, timed_out=True)
-            return False
-        if trace is not None:
+                return False
             trace.record_request_reply(MessageKind.PUT_REQUEST, MessageKind.PUT_ACK,
                                        dest=responsible)
         entry = StoredValue(key=key, data=data, timestamp=timestamp, version=version,
-                            hash_name=hash_fn.name, point=lookup.point,
+                            hash_name=hash_fn.name, point=point,
                             stored_at=self.now)
         return self._store_entry(responsible, entry, record_responsibility=True)
 
@@ -375,15 +417,19 @@ class DHTNetwork:
             origin: Optional[int] = None, trace: Optional[OperationTrace] = None,
             unreachable: FrozenSet[int] = frozenset()) -> Optional[StoredValue]:
         """The paper's ``get_h(k)``: fetch the replica stored at ``rsp(k, h)``."""
+        if trace is None:
+            self._resolve_origin(origin)
+            responsible = self.protocol.responsible_for(hash_fn(key))
+            if responsible in unreachable:
+                return None
+            return self._peers[responsible].store.get(hash_fn.name, key)
         lookup = self.lookup(key, hash_fn, origin=origin, trace=trace)
         responsible = lookup.responsible
         if responsible in unreachable:
-            if trace is not None:
-                trace.record(MessageKind.GET_REQUEST, dest=responsible, timed_out=True)
+            trace.record(MessageKind.GET_REQUEST, dest=responsible, timed_out=True)
             return None
-        if trace is not None:
-            trace.record_request_reply(MessageKind.GET_REQUEST, MessageKind.GET_REPLY,
-                                       dest=responsible)
+        trace.record_request_reply(MessageKind.GET_REQUEST, MessageKind.GET_REPLY,
+                                   dest=responsible)
         return self._peers[responsible].store.get(hash_fn.name, key)
 
     # ------------------------------------------------------------ batched ops

@@ -11,6 +11,7 @@ one if it carries a strictly newer timestamp (respectively a newer version).
 from __future__ import annotations
 
 import bisect
+from array import array
 from dataclasses import dataclass, replace
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
@@ -84,16 +85,34 @@ class LocalStore:
     responsible for the key under more than one replication hash function, so
     the hash function name is part of the index.
 
-    A secondary index groups entries by their identifier-space ``point`` so
-    churn-induced rebalancing can locate the entries of a moving identifier
-    interval with a range scan (:meth:`entries_in_span`) instead of sweeping
-    the whole store.
+    Entries live in a *slab*: a flat list of :class:`StoredValue` slots with a
+    free list, so deletes and overwrites recycle slots instead of churning
+    dictionary-of-dictionary buckets.  Two indexes point into the slab:
+
+    * ``(hash_name, key) -> slot`` for point reads (insertion-ordered, which
+      fixes the iteration order of :meth:`values`/:meth:`keys`);
+    * ``point -> array('I', slots)`` so churn-induced rebalancing can locate
+      the entries of a moving identifier interval with a range scan
+      (:meth:`entries_in_span`) instead of sweeping the whole store.  The
+      per-point slot arrays are packed machine integers, not objects, keeping
+      the index a few bytes per entry at 100k+-peer populations.
     """
 
     def __init__(self) -> None:
-        self._entries: Dict[Tuple[str, Any], StoredValue] = {}
-        self._by_point: Dict[int, Dict[Tuple[str, Any], StoredValue]] = {}
+        self._slab: List[Optional[StoredValue]] = []
+        self._free: List[int] = []
+        self._index: Dict[Tuple[str, Any], int] = {}
+        self._point_slots: Dict[int, "array[int]"] = {}
         self._sorted_points: Optional[List[int]] = None  # rebuilt lazily
+
+    def _allocate(self, value: StoredValue) -> int:
+        """Place ``value`` in a free slab slot (extending the slab if full)."""
+        if self._free:
+            slot = self._free.pop()
+            self._slab[slot] = value
+            return slot
+        self._slab.append(value)
+        return len(self._slab) - 1
 
     # ------------------------------------------------------------------ write
     def put(self, value: StoredValue, *, reconcile: bool = True) -> bool:
@@ -104,77 +123,99 @@ class LocalStore:
         :meth:`StoredValue.is_newer_than` says so.
         """
         index = (value.hash_name, value.key)
-        existing = self._entries.get(index)
+        slot = self._index.get(index)
+        existing = self._slab[slot] if slot is not None else None
         if reconcile and not value.is_newer_than(existing):
             return False
-        self._entries[index] = value
+        if slot is None:
+            self._index[index] = self._allocate(value)
+            self._index_point(value.point, self._index[index])
+            return True
+        self._slab[slot] = value
         if existing is not None and existing.point != value.point:
-            self._unindex_point(existing.point, index)
-        bucket = self._by_point.get(value.point)
-        if bucket is None:
-            bucket = self._by_point[value.point] = {}
-            self._sorted_points = None
-        bucket[index] = value
+            self._unindex_point(existing.point, slot)
+            self._index_point(value.point, slot)
         return True
 
     def delete(self, hash_name: str, key: Any) -> Optional[StoredValue]:
         """Remove and return the replica of ``key`` under ``hash_name``."""
-        entry = self._entries.pop((hash_name, key), None)
-        if entry is not None:
-            self._unindex_point(entry.point, (hash_name, key))
+        slot = self._index.pop((hash_name, key), None)
+        if slot is None:
+            return None
+        entry = self._slab[slot]
+        self._slab[slot] = None
+        self._free.append(slot)
+        assert entry is not None
+        self._unindex_point(entry.point, slot)
         return entry
 
-    def _unindex_point(self, point: int, index: Tuple[str, Any]) -> None:
-        bucket = self._by_point.get(point)
-        if bucket is None:
+    def _index_point(self, point: int, slot: int) -> None:
+        slots = self._point_slots.get(point)
+        if slots is None:
+            self._point_slots[point] = array("I", (slot,))
+            self._sorted_points = None
+        else:
+            slots.append(slot)
+
+    def _unindex_point(self, point: int, slot: int) -> None:
+        slots = self._point_slots.get(point)
+        if slots is None:
             return
-        bucket.pop(index, None)
-        if not bucket:
-            del self._by_point[point]
+        try:
+            slots.remove(slot)
+        except ValueError:
+            return
+        if not slots:
+            del self._point_slots[point]
             self._sorted_points = None
 
     def clear(self) -> None:
         """Drop every replica (used when a peer's data is lost on failure)."""
-        self._entries.clear()
-        self._by_point.clear()
+        self._slab.clear()
+        self._free.clear()
+        self._index.clear()
+        self._point_slots.clear()
         self._sorted_points = None
 
     # ------------------------------------------------------------------- read
     def get(self, hash_name: str, key: Any) -> Optional[StoredValue]:
         """Return the replica of ``key`` placed by ``hash_name``, if any."""
-        return self._entries.get((hash_name, key))
+        slot = self._index.get((hash_name, key))
+        return self._slab[slot] if slot is not None else None
 
     def contains(self, hash_name: str, key: Any) -> bool:
         """Whether a replica of ``key`` under ``hash_name`` is present."""
-        return (hash_name, key) in self._entries
+        return (hash_name, key) in self._index
 
     def values(self) -> List[StoredValue]:
-        """All replicas held by the peer (copy of the current snapshot)."""
-        return list(self._entries.values())
+        """All replicas held by the peer, in first-insertion order."""
+        slab = self._slab
+        return [slab[slot] for slot in self._index.values()]  # type: ignore[misc]
 
     def keys(self) -> List[Tuple[str, Any]]:
         """All ``(hash_name, key)`` indexes currently stored."""
-        return list(self._entries.keys())
+        return list(self._index.keys())
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._index)
 
     def __iter__(self) -> Iterator[StoredValue]:
-        return iter(list(self._entries.values()))
+        return iter(self.values())
 
     def __contains__(self, index: Tuple[str, Any]) -> bool:
-        return index in self._entries
+        return index in self._index
 
     def replicas_of(self, key: Any) -> List[StoredValue]:
         """All replicas of ``key`` held by this peer, across hash functions."""
-        return [value for (_, stored_key), value in self._entries.items()
+        slab = self._slab
+        return [slab[slot] for (_, stored_key), slot in self._index.items()  # type: ignore[misc]
                 if stored_key == key]
 
     # ------------------------------------------------------------- point index
     def _points_sorted(self) -> List[int]:
         """The lazily-maintained sorted point list (internal: do not mutate)."""
         if self._sorted_points is None:
-            self._sorted_points = sorted(self._by_point)
+            self._sorted_points = sorted(self._point_slots)
         return self._sorted_points
 
     def points(self) -> List[int]:
@@ -183,8 +224,11 @@ class LocalStore:
 
     def entries_at(self, point: int) -> List[StoredValue]:
         """All entries whose identifier point equals ``point``."""
-        bucket = self._by_point.get(point)
-        return list(bucket.values()) if bucket else []
+        slots = self._point_slots.get(point)
+        if slots is None:
+            return []
+        slab = self._slab
+        return [slab[slot] for slot in slots]  # type: ignore[misc]
 
     def entries_in_span(self, lo: int, hi: int) -> List[StoredValue]:
         """Entries whose point lies in the wrapping interval ``(lo, hi]``.
@@ -204,19 +248,19 @@ class LocalStore:
         else:  # interval wraps past the top of the identifier space
             selected = (points[bisect.bisect_right(points, lo):]
                         + points[:bisect.bisect_right(points, hi)])
+        slab = self._slab
         entries: List[StoredValue] = []
         for point in selected:
-            entries.extend(self._by_point[point].values())
+            entries.extend(slab[slot] for slot in self._point_slots[point])  # type: ignore[misc]
         return entries
 
     def touch(self, hash_name: str, key: Any, stored_at: float) -> None:
         """Update the ``stored_at`` time of an entry (used by handover)."""
-        index = (hash_name, key)
-        entry = self._entries.get(index)
-        if entry is not None:
-            updated = replace(entry, stored_at=stored_at)
-            self._entries[index] = updated
-            self._by_point[entry.point][index] = updated
+        slot = self._index.get((hash_name, key))
+        if slot is not None:
+            entry = self._slab[slot]
+            assert entry is not None
+            self._slab[slot] = replace(entry, stored_at=stored_at)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"LocalStore(entries={len(self._entries)})"
+        return f"LocalStore(entries={len(self._index)})"

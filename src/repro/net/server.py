@@ -213,7 +213,8 @@ class NodeServer:
             return "pong"
         if op == "info":
             return {"peers": self.cluster.size,
-                    "protocol": type(self.cluster.network.protocol).__name__,
+                    "protocol": self.cluster.network.protocol.protocol_name,
+                    "representation": self.cluster.network.protocol.representation,
                     "service": self.cluster.service_name,
                     "replicas": self.cluster.replication.factor,
                     "version": __version__}
