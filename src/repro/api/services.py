@@ -181,6 +181,15 @@ def create_service(name: str, *, network: "DHTNetwork",
 def _build_ums(*, network: "DHTNetwork", replication: "ReplicationScheme",
                kts: Optional["KeyBasedTimestampService"],
                rng: random.Random, **extra: Any) -> CurrencyService:
+    """Factory of the paper's UMS.
+
+    ``extra`` forwards service-specific options verbatim: ``probe_order``
+    (``"random"``/``"fixed"``) and ``detector`` (a
+    :class:`repro.core.detector.CrossCheckDetector` instance that passively
+    cross-checks ``last_ts`` claims against probed replica timestamps —
+    the simulation harness threads one through
+    ``Cluster.build(service_options={"ums": {"detector": ...}})``).
+    """
     # Imported lazily: repro.core imports the shared result types from
     # repro.api, so the factory must not import repro.core at module level.
     from repro.core.ums import UpdateManagementService

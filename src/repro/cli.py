@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six entry points are provided (also installable as console scripts, and
+Seven entry points are provided (also installable as console scripts, and
 reachable as ``python -m repro``):
 
 * ``python -m repro simulate`` — run one simulation (one algorithm, one
@@ -17,6 +17,10 @@ reachable as ``python -m repro``):
   (``sim``/``tcp``/``uds``) and report throughput + p50/p95/p99 latency;
 * ``python -m repro experiments`` — regenerate the paper's tables and
   figures (thin wrapper over :mod:`repro.experiments.runner`);
+* ``python -m repro attack-grid`` — sweep byzantine fractions × overlays
+  through :mod:`repro.experiments.attack_grid` and report the
+  currency-degradation curve (measured certified currency vs the
+  honest-baseline analytical guarantee, with per-overlay thresholds);
 * ``python -m repro registry`` — list the pluggable backends: the DHT
   overlays of :mod:`repro.dht.registry`, the currency services of
   :mod:`repro.api.services`, the scenarios of
@@ -38,9 +42,11 @@ Examples
         --arrival poisson --ops 500 --duration 5
     python -m repro experiments --scale quick --output results.md
     python -m repro experiments --scale paper --jobs 4 --cache-dir .repro-cache
+    python -m repro attack-grid --fractions 0,0.1,0.3 --protocols chord,kademlia \
+        --jobs 2 --output attack-degradation.json
 
-``scenario compare`` and ``experiments`` execute their grids through the
-unified execution layer (:mod:`repro.execution`): ``--jobs N`` runs the grid
+``scenario compare``, ``experiments`` and ``attack-grid`` execute their
+grids through the unified execution layer (:mod:`repro.execution`): ``--jobs N`` runs the grid
 on a process pool with bit-identical results, ``--cache-dir`` caches and
 skips already-executed points (``--no-cache`` forces re-execution).
 """
@@ -57,7 +63,14 @@ from repro.api.services import service_names
 from repro.dht.registry import overlay_names
 from repro.execution import Executor, RunPlan
 from repro.experiments import runner as experiments_runner
+from repro.experiments.attack_grid import (
+    DEFAULT_FRACTIONS,
+    DEFAULT_PROTOCOLS,
+    default_attack_parameters,
+    run_attack_grid,
+)
 from repro.experiments.reporting import comparison_tables
+from repro.simulation.adversary import STRATEGIES
 from repro.simulation.config import Algorithm, SimulationParameters
 from repro.simulation.harness import run_simulation
 from repro.simulation.scenarios import (
@@ -67,8 +80,9 @@ from repro.simulation.scenarios import (
     scenario_names,
 )
 
-__all__ = ["build_parser", "loadgen_command", "main", "registry_command",
-           "scenario_command", "serve_command", "simulate_command"]
+__all__ = ["attack_grid_command", "build_parser", "loadgen_command", "main",
+           "registry_command", "scenario_command", "serve_command",
+           "simulate_command"]
 
 #: Currency-service registry name -> harness algorithm, for ``--services``.
 _SERVICE_ALGORITHMS = {"ums": Algorithm.UMS_DIRECT, "brk": Algorithm.BRK}
@@ -210,6 +224,47 @@ def build_parser() -> argparse.ArgumentParser:
                              help="on-disk run cache for the sweeps")
     experiments.add_argument("--no-cache", action="store_true",
                              help="re-execute cached points (refreshing them)")
+
+    attack = subparsers.add_parser(
+        "attack-grid", help="sweep byzantine fractions x overlays and report "
+                            "the currency-degradation curve")
+    attack.add_argument("--fractions",
+                        default=",".join(str(value) for value in DEFAULT_FRACTIONS),
+                        help="comma-separated byzantine fractions in [0, 1); "
+                             "the 0.0 honest baseline is always included")
+    attack.add_argument("--protocols", default=",".join(DEFAULT_PROTOCOLS),
+                        help="comma-separated overlay names")
+    attack.add_argument("--strategy", choices=STRATEGIES,
+                        default="stale-replay",
+                        help="how byzantine responsibles falsify timestamps")
+    attack.add_argument("--lag", type=int, default=1,
+                        help="timestamp lag of the max-lag / random-lie "
+                             "strategies")
+    attack.add_argument("--peers", type=int, default=None,
+                        help="cluster size per grid point (default 120)")
+    attack.add_argument("--replicas", type=int, default=None, help="|Hr|")
+    attack.add_argument("--keys", type=int, default=None,
+                        help="number of data items (default 6)")
+    attack.add_argument("--queries", type=int, default=None,
+                        help="measured queries per run (default 60)")
+    attack.add_argument("--duration", type=float, default=None,
+                        help="simulated seconds per run (default 600)")
+    attack.add_argument("--update-rate", type=float, default=None,
+                        help="per-key updates per hour (default 60)")
+    attack.add_argument("--seed", type=int, default=2007)
+    attack.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the grid (default: serial, "
+                             "or REPRO_EXECUTOR_JOBS); bit-identical to a "
+                             "serial run")
+    attack.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="on-disk run cache: grid points already executed "
+                             "under DIR are skipped")
+    attack.add_argument("--no-cache", action="store_true",
+                        help="re-execute every point even when cached")
+    attack.add_argument("--output", default=None, metavar="PATH",
+                        help="write the attack-degradation JSON artifact here")
+    attack.add_argument("--json", action="store_true",
+                        help="print the JSON artifact instead of the table")
 
     serve = subparsers.add_parser(
         "serve", help="host a cluster behind the repro.net asyncio transport "
@@ -648,6 +703,65 @@ def scenario_command(arguments: argparse.Namespace, *, stream=None) -> int:
     raise SystemExit(f"unknown scenario command {arguments.scenario_command!r}")
 
 
+def attack_grid_command(arguments: argparse.Namespace, *, stream=None) -> int:
+    """Run the ``attack-grid`` command: the currency-degradation sweep."""
+    stream = stream if stream is not None else sys.stdout
+    try:
+        fractions = [float(value) for value in arguments.fractions.split(",")
+                     if value.strip()]
+    except ValueError as error:
+        raise SystemExit(f"bad --fractions: {error}") from error
+    protocols = [name.strip() for name in arguments.protocols.split(",")
+                 if name.strip()]
+    if not fractions or not protocols:
+        raise SystemExit("attack-grid needs at least one fraction and one "
+                         "protocol")
+    unknown = [name for name in protocols if name not in overlay_names()]
+    if unknown:
+        raise SystemExit(f"unknown protocol(s) {', '.join(unknown)}; "
+                         f"registered overlays: {', '.join(overlay_names())}")
+    parameters = default_attack_parameters(seed=arguments.seed)
+    overrides = {key: value for key, value in (
+        ("num_peers", arguments.peers), ("num_replicas", arguments.replicas),
+        ("num_keys", arguments.keys), ("num_queries", arguments.queries),
+        ("duration_s", arguments.duration),
+        ("update_rate_per_hour", arguments.update_rate)) if value is not None}
+    if overrides:
+        parameters = parameters.with_overrides(**overrides)
+    executor = Executor(arguments.jobs, cache_dir=arguments.cache_dir,
+                        use_cache=not arguments.no_cache)
+    try:
+        report = run_attack_grid(parameters, fractions=fractions,
+                                 protocols=protocols,
+                                 strategy=arguments.strategy,
+                                 lag=arguments.lag, executor=executor)
+    except ValueError as error:
+        raise SystemExit(str(error)) from error
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if arguments.json:
+        json.dump(report, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+        return 0
+    stream.write(f"attack-degradation ({report['strategy']}), "
+                 f"plan {report['plan_hash'][:12]}\n")
+    for protocol in report["protocols"]:
+        entry = report["overlays"][protocol]
+        threshold = entry["threshold"]
+        shown = f"{threshold:g}" if threshold is not None else "not reached"
+        stream.write(f"\n{protocol}: guarantee "
+                     f"{entry['baseline_currency']:.3f}, "
+                     f"threshold {shown}\n")
+        for point in entry["points"]:
+            stream.write(f"  f={point['fraction']:<5g} "
+                         f"currency={point['currency']:.3f} "
+                         f"detected_lies={point['detected_lies']:>3d} "
+                         f"violations={point['violations']:d}\n")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
@@ -662,6 +776,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return serve_command(arguments)
     if arguments.command == "loadgen":
         return loadgen_command(arguments)
+    if arguments.command == "attack-grid":
+        return attack_grid_command(arguments)
     if arguments.command == "experiments":
         runner_args = ["--scale", arguments.scale, "--seed", str(arguments.seed),
                        "--protocol", arguments.protocol]

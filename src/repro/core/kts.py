@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.counters import KeyCounter, ValidCounterSet
 from repro.core.replication import ReplicationScheme
@@ -118,7 +118,34 @@ class KeyBasedTimestampService(NetworkObserver):
         self.ts_hash = ts_hash
         self.stats = KtsStats()
         self._states: Dict[int, _PeerTimestampState] = {}
+        self._reply_interceptor: Optional[Callable[[int, Any, Optional[int]],
+                                                   Optional[int]]] = None
         network.add_observer(self)
+
+    # ------------------------------------------------------- adversarial seam
+    @property
+    def reply_interceptor(self) -> Optional[Callable[[int, Any, Optional[int]],
+                                                     Optional[int]]]:
+        """The installed ``last_ts`` reply interceptor, or ``None`` (honest)."""
+        return self._reply_interceptor
+
+    def set_reply_interceptor(
+            self, interceptor: Optional[Callable[[int, Any, Optional[int]],
+                                                 Optional[int]]]) -> None:
+        """Install (or, with ``None``, remove) a ``last_ts`` reply filter.
+
+        The interceptor is called as ``interceptor(responsible, key, value)``
+        after the true last-generated value is computed, and its return value
+        is what the caller sees — a *value-only* seam used by the byzantine
+        fault profiles of :mod:`repro.simulation.adversary` to model
+        responsibles that lie about a key's currency.  Interception never
+        changes routing, message accounting or any RNG stream (the honest
+        counters are untouched), so runs with an inert interceptor stay
+        bit-identical to uninstrumented ones.  ``gen_ts`` is deliberately
+        not interceptable: the modelled attack targets the retrieval-side
+        currency check, not timestamp generation.
+        """
+        self._reply_interceptor = interceptor
 
     # ------------------------------------------------------------------ lookup
     def responsible_of_timestamping(self, key: Any) -> int:
@@ -166,6 +193,8 @@ class KeyBasedTimestampService(NetworkObserver):
         counter = self._counter_for(responsible, key, trace)
         self.stats.last_ts_requests += 1
         value = counter.last_generated()
+        if self._reply_interceptor is not None:
+            value = self._reply_interceptor(responsible, key, value)
         if value is None:
             return None
         return Timestamp(key=key, value=value)
@@ -218,6 +247,8 @@ class KeyBasedTimestampService(NetworkObserver):
                 counter = self._counter_for(responsible, key, trace)
                 self.stats.last_ts_requests += 1
                 value = counter.last_generated()
+                if self._reply_interceptor is not None:
+                    value = self._reply_interceptor(responsible, key, value)
                 out[key] = None if value is None else Timestamp(key=key, value=value)
         return out
 

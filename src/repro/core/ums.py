@@ -41,6 +41,7 @@ from repro.api.results import (
     InsertResult,
     RetrieveResult,
 )
+from repro.core.detector import CrossCheckDetector
 from repro.core.kts import KeyBasedTimestampService
 from repro.core.replication import ReplicationScheme
 from repro.dht.messages import OperationTrace
@@ -65,12 +66,20 @@ class UpdateManagementService:
         ``"random"`` (default) shuffles the replica probe order on every
         retrieve, matching the independence assumption of the cost analysis;
         ``"fixed"`` probes in the canonical ``Hr`` order (ablation study).
+    detector:
+        Optional :class:`~repro.core.detector.CrossCheckDetector`.  When
+        attached, every :meth:`retrieve` (except under ``Consistency.ANY``,
+        which makes no currency claim) cross-checks the ``last_ts`` reply
+        against the replica timestamps it probed anyway; a claim provably
+        *behind* an observed replica is flagged.  The detector is passive:
+        no extra messages, no RNG draws, no change to any result.
     """
 
     def __init__(self, network: DHTNetwork, kts: KeyBasedTimestampService,
                  replication: ReplicationScheme, *, probe_order: str = "random",
                  seed: Optional[int] = None,
-                 rng: Optional[random.Random] = None) -> None:
+                 rng: Optional[random.Random] = None,
+                 detector: Optional["CrossCheckDetector"] = None) -> None:
         if probe_order not in ("random", "fixed"):
             raise ValueError(f"probe_order must be 'random' or 'fixed', got {probe_order!r}")
         self.network = network
@@ -78,6 +87,7 @@ class UpdateManagementService:
         self.replication = replication
         self.probe_order = probe_order
         self.rng = rng if rng is not None else random.Random(seed)
+        self.detector = detector
 
     # ------------------------------------------------------------------ insert
     def insert(self, key: Any, data: Any, *, origin: Optional[int] = None,
@@ -150,20 +160,25 @@ class UpdateManagementService:
         probe_limit = self._probe_limit(consistency, max_probes)
         most_recent: Optional[StoredValue] = None
         inspected = 0
+        observed: List[int] = []
         for hash_fn in self._probe_sequence()[:probe_limit]:
             entry = self.network.get(key, hash_fn, origin=origin, trace=trace,
                                      unreachable=unreachable)
             inspected += 1
             if entry is None or entry.timestamp is None:
                 continue
+            observed.append(entry.timestamp.value)
             if consistency == Consistency.ANY:
                 return self._result(key, entry, latest, inspected, trace,
                                     consistency, is_current=False)
             if latest is not None and entry.timestamp.value == latest.value:
+                self._cross_check(key, latest, observed)
                 return self._result(key, entry, latest, inspected, trace,
                                     consistency, is_current=True)
             if most_recent is None or entry.timestamp > most_recent.timestamp:
                 most_recent = entry
+        if consistency != Consistency.ANY:
+            self._cross_check(key, latest, observed)
         if most_recent is not None:
             return self._result(key, most_recent, latest, inspected, trace,
                                 consistency, is_current=False)
@@ -240,6 +255,18 @@ class UpdateManagementService:
             results.append(result)
         return BatchRetrieveResult(results=tuple(results), trace=trace,
                                    consistency=consistency)
+
+    def _cross_check(self, key: Any, latest, observed: List[int]) -> None:
+        """Hand one retrieval's evidence to the attached detector, if any.
+
+        ``retrieve_many`` deliberately skips detection: its interleaved probe
+        rounds stop probing a key once it resolves, so the per-key evidence
+        is weaker than the sequential path's and the two would disagree.
+        """
+        if self.detector is None or not observed:
+            return
+        claimed = latest.value if latest is not None else None
+        self.detector.observe(key, claimed, observed)
 
     def _result(self, key: Any, entry: StoredValue, latest, inspected: int,
                 trace: OperationTrace, consistency: str, *,

@@ -21,7 +21,7 @@ reads engine → workload/scenarios → harness → :mod:`repro.execution`.
 
 from repro.simulation.config import Algorithm, SimulationParameters
 from repro.simulation.churn import ChurnEvent, ChurnProcess
-from repro.simulation.cost import NetworkCostModel
+from repro.simulation.cost import GeoLatencyCostModel, NetworkCostModel
 from repro.simulation.engine import Event, Process, SimulationError, Simulator, Timeout
 from repro.simulation.metrics import Counter, Tally, TimeSeries
 from repro.simulation.processes import PoissonProcess, poisson_arrival_times
@@ -48,6 +48,7 @@ __all__ = [
     "ChurnProcess",
     "Counter",
     "Event",
+    "GeoLatencyCostModel",
     "NetworkCostModel",
     "PoissonProcess",
     "Process",

@@ -7,6 +7,11 @@ peer's replicas and counters are lost), otherwise it is a normal leave (data
 and counters are handed over).  Each departure is compensated by the join of a
 fresh peer, keeping the population constant as in the paper (following Rhea et
 al.'s churn methodology).
+
+Churn is a **crash-stop** fault model: departed peers stop answering, but
+every surviving peer answers honestly.  The **byzantine** regime — peers
+that stay up and serve falsified timestamps — is modelled separately in
+:mod:`repro.simulation.adversary`.
 """
 
 from __future__ import annotations

@@ -16,7 +16,7 @@ from typing import Optional
 
 from repro.api.results import Consistency
 from repro.dht.registry import is_registered, overlay_names
-from repro.simulation.cost import NetworkCostModel
+from repro.simulation.cost import GeoLatencyCostModel, NetworkCostModel
 
 __all__ = ["Algorithm", "SimulationParameters"]
 
@@ -109,12 +109,20 @@ class SimulationParameters:
     update_rate_per_hour: float = 1.0
 
     # --- network cost model (Table 1) ---------------------------------------
+    #: ``"wide-area"`` (Table 1), ``"cluster"`` (Section 5.2) or ``"geo"``
+    #: (per-region RTT matrix: :class:`repro.simulation.cost.GeoLatencyCostModel`).
     cost_model_preset: str = "wide-area"
     latency_mean_s: float = 0.2
     latency_std_s: float = 0.01
     bandwidth_mean_bps: float = 56_000.0
     bandwidth_std_bps: float = 5_660.0
     timeout_s: float = 2.0
+    #: Number of geographic regions of the ``"geo"`` preset (ignored by the
+    #: other presets).
+    geo_regions: int = 3
+    #: Seed of the deterministic peer -> region assignment of the ``"geo"``
+    #: preset; ``None`` falls back to the run ``seed`` (or 0).
+    geo_assignment_seed: Optional[int] = None
 
     # --- algorithm ----------------------------------------------------------
     algorithm: str = Algorithm.UMS_DIRECT
@@ -133,6 +141,11 @@ class SimulationParameters:
     #: availability (p_t) of every key at this interval and exposes the samples
     #: as a time series on the run result.
     currency_sample_interval_s: float = 0.0
+    #: Claim-behind tolerance (timestamp increments) of the passive timestamp
+    #: cross-check detector (:class:`repro.core.detector.CrossCheckDetector`)
+    #: the harness attaches to the UMS.  0 flags any claim provably behind an
+    #: observed replica; the detector never changes a retrieval's outcome.
+    cross_check_window: int = 0
 
     # --- reproducibility ----------------------------------------------------
     seed: Optional[int] = None
@@ -159,12 +172,17 @@ class SimulationParameters:
             raise ValueError("churn_rate_per_s must be >= 0")
         if self.update_rate_per_hour < 0:
             raise ValueError("update_rate_per_hour must be >= 0")
-        if self.cost_model_preset not in ("wide-area", "cluster"):
-            raise ValueError("cost_model_preset must be 'wide-area' or 'cluster'")
+        if self.cost_model_preset not in ("wide-area", "cluster", "geo"):
+            raise ValueError("cost_model_preset must be 'wide-area', "
+                             "'cluster' or 'geo'")
+        if self.geo_regions < 1:
+            raise ValueError("geo_regions must be >= 1")
         if self.inspection_interval_s < 0:
             raise ValueError("inspection_interval_s must be >= 0")
         if self.currency_sample_interval_s < 0:
             raise ValueError("currency_sample_interval_s must be >= 0")
+        if self.cross_check_window < 0:
+            raise ValueError("cross_check_window must be >= 0")
 
     # ----------------------------------------------------------------- presets
     @classmethod
@@ -216,6 +234,17 @@ class SimulationParameters:
             model = NetworkCostModel.cluster()
             model.rng = rng
             return model
+        if self.cost_model_preset == "geo":
+            assignment = self.geo_assignment_seed
+            if assignment is None:
+                assignment = self.seed if self.seed is not None else 0
+            return GeoLatencyCostModel(
+                latency_mean_s=self.latency_mean_s,
+                latency_std_s=self.latency_std_s,
+                bandwidth_mean_bps=self.bandwidth_mean_bps,
+                bandwidth_std_bps=self.bandwidth_std_bps,
+                timeout_s=self.timeout_s, rng=rng,
+                regions=self.geo_regions, assignment_seed=assignment)
         return NetworkCostModel(latency_mean_s=self.latency_mean_s,
                                 latency_std_s=self.latency_std_s,
                                 bandwidth_mean_bps=self.bandwidth_mean_bps,

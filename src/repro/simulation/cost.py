@@ -16,13 +16,14 @@ Two presets mirror the paper's two testbeds:
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from repro.dht.messages import Message, OperationTrace
 
-__all__ = ["NetworkCostModel"]
+__all__ = ["GeoLatencyCostModel", "NetworkCostModel"]
 
 
 @dataclass
@@ -149,3 +150,122 @@ class NetworkCostModel:
     def expected_message_delay(self, size_bytes: int = 128) -> float:
         """Deterministic expectation of a message delay (no sampling); handy in tests."""
         return self.latency_mean_s + (size_bytes * 8) / self.bandwidth_mean_bps
+
+
+@dataclass
+class GeoLatencyCostModel(NetworkCostModel):
+    """Per-region RTT pricing: the Table 1 WAN made geography-aware.
+
+    Peers are assigned to ``regions`` deterministically (a seeded hash of
+    the peer id — no RNG draws, so attaching the model never perturbs a
+    run's random streams) and the per-message latency mean becomes half the
+    RTT between the source's and destination's regions instead of the
+    uniform ``latency_mean_s``.  Sampling still consumes exactly one latency
+    draw and one bandwidth draw per message (``latency_std_s`` prices the
+    jitter around the regional mean), and the degradation factors of
+    :meth:`NetworkCostModel.set_degradation` apply unchanged — so scenario
+    fault profiles compose with geo pricing.
+
+    With ``regions=1`` the default matrix degenerates to
+    ``[[2 * latency_mean_s]]`` and the model is bit-identical to the base
+    wide-area :class:`NetworkCostModel` (pinned by
+    ``tests/adversary/test_honest_parity.py``).
+
+    Attributes
+    ----------
+    regions:
+        Number of geographic regions (>= 1).
+    assignment_seed:
+        Seed of the deterministic peer -> region hash; two models with the
+        same seed agree on every peer's region.
+    rtt_matrix:
+        Symmetric ``regions x regions`` matrix of round-trip times in
+        seconds.  ``None`` builds the default: intra-region RTT
+        ``2 * latency_mean_s`` and inter-region RTT growing with region
+        distance (see :meth:`default_rtt_matrix`).
+    """
+
+    regions: int = 3
+    assignment_seed: int = 0
+    rtt_matrix: Optional[Tuple[Tuple[float, ...], ...]] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.regions < 1:
+            raise ValueError("regions must be >= 1")
+        if self.rtt_matrix is None:
+            self.rtt_matrix = self.default_rtt_matrix(self.regions,
+                                                      self.latency_mean_s)
+        else:
+            self.rtt_matrix = tuple(tuple(row) for row in self.rtt_matrix)
+        if len(self.rtt_matrix) != self.regions:
+            raise ValueError(f"rtt_matrix must be {self.regions}x{self.regions}")
+        for row_index, row in enumerate(self.rtt_matrix):
+            if len(row) != self.regions:
+                raise ValueError(f"rtt_matrix must be {self.regions}x{self.regions}")
+            for column_index, rtt in enumerate(row):
+                if rtt <= 0:
+                    raise ValueError("every RTT must be > 0")
+                if rtt != self.rtt_matrix[column_index][row_index]:
+                    raise ValueError("rtt_matrix must be symmetric")
+        self._region_cache: Dict[int, int] = {}
+
+    @staticmethod
+    def default_rtt_matrix(regions: int,
+                           latency_mean_s: float) -> Tuple[Tuple[float, ...], ...]:
+        """The default RTT matrix: Table 1 intra-region, distance-scaled inter.
+
+        Intra-region RTT is ``2 * latency_mean_s`` (so each one-way hop
+        matches the uniform model's mean) and the RTT between regions ``i``
+        and ``j`` grows by 75% of that base per unit of region distance —
+        a coarse continental gradient that keeps the single-region case an
+        exact degeneration of the uniform model.
+        """
+        base = 2.0 * latency_mean_s
+        return tuple(
+            tuple(base * (1.0 + 0.75 * abs(row - column))
+                  for column in range(regions))
+            for row in range(regions))
+
+    # ------------------------------------------------------------- regions
+    def region_of(self, peer: Optional[int]) -> int:
+        """The region of ``peer``: a seeded hash, stable across the run.
+
+        ``None`` (a client-side endpoint with no peer id) is pinned to
+        region 0 so every message prices deterministically.
+        """
+        if peer is None:
+            return 0
+        region = self._region_cache.get(peer)
+        if region is None:
+            digest = hashlib.blake2s(
+                f"geo-region:{self.assignment_seed}:{peer}".encode()).digest()
+            region = int.from_bytes(digest[:8], "big") % self.regions
+            self._region_cache[peer] = region
+        return region
+
+    def link_latency_mean_s(self, source: Optional[int],
+                            dest: Optional[int]) -> float:
+        """Half the RTT between the regions of ``source`` and ``dest``."""
+        return self.rtt_matrix[self.region_of(source)][self.region_of(dest)] / 2.0
+
+    # ------------------------------------------------------------ sampling
+    def message_delay(self, message: Message) -> float:
+        """Regional latency + transfer time (+ timeout) for a single message.
+
+        Identical draw accounting to the base model: one latency gauss (mean
+        set by the endpoint regions) and one bandwidth sample per message.
+        """
+        mean = self.link_latency_mean_s(message.source, message.dest)
+        delay = max(1e-4, self.rng.gauss(mean, self.latency_std_s))
+        delay *= self._latency_factor
+        delay += (message.size_bytes * 8) / self.sample_bandwidth()
+        if message.timed_out:
+            delay += self.timeout_s * self._timeout_factor
+        return delay
+
+    def expected_message_delay(self, size_bytes: int = 128) -> float:
+        """Expectation over uniformly random region pairs (no sampling)."""
+        total = sum(sum(row) for row in self.rtt_matrix)
+        mean_rtt = total / (self.regions * self.regions)
+        return mean_rtt / 2.0 + (size_bytes * 8) / self.bandwidth_mean_bps

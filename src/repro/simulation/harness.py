@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.api.cluster import Cluster, Session
 from repro.api.results import RetrieveResult
+from repro.core.detector import CrossCheckDetector
 from repro.core.kts import KeyBasedTimestampService
 from repro.core.replication import ReplicationScheme
 from repro.dht.network import DHTNetwork
@@ -66,6 +67,10 @@ class SimulationHarness:
         self.cost_model: Optional[NetworkCostModel] = None
         self.sim: Optional[Simulator] = None
         self.churn: Optional[ChurnProcess] = None
+        #: Passive timestamp cross-check detector attached to the UMS; it
+        #: sends no messages and draws no randomness, so attaching it keeps
+        #: seeded runs bit-identical to earlier releases.
+        self.detector = CrossCheckDetector(window=parameters.cross_check_window)
         self.keys: List[str] = []
         self._update_sequence: Dict[str, int] = {}
         self._result: Optional[RunResult] = None
@@ -82,7 +87,8 @@ class SimulationHarness:
             initialization=Algorithm.initialization(parameters.algorithm),
             probe_order=parameters.probe_order,
             stabilization_interval=parameters.stabilization_interval_s,
-            rng=self._master_rng)
+            rng=self._master_rng,
+            service_options={"ums": {"detector": self.detector}})
         self.network = self.cluster.network
         self.replication = self.cluster.replication
         self.kts = self.cluster.kts
@@ -176,7 +182,8 @@ class SimulationHarness:
                                          cost_model=self.cost_model,
                                          rng=fault_rng,
                                          duration_s=parameters.duration_s,
-                                         churn=self.churn)
+                                         churn=self.churn,
+                                         cluster=self.cluster)
 
         # Optional maintenance / instrumentation processes.
         if parameters.inspection_interval_s > 0 and parameters.algorithm != Algorithm.BRK:
@@ -225,13 +232,21 @@ class SimulationHarness:
     def _make_query_callback(self, key: str) -> Callable[[], None]:
         def callback() -> None:
             self.network.now = self.sim.now
+            flags_before = self.detector.flag_count
             outcome = self._retrieve(key)
             response_time = self.cost_model.duration(outcome.trace)
+            # Ground truth only the harness knows: the latest committed
+            # version of the key (the adversary can falsify timestamps, but
+            # not the update sequence the harness itself drove).
+            latest_payload = payload_for(key, self._update_sequence[key] - 1)
+            stale = outcome.found and outcome.data != latest_payload
             self._result.record_query(QueryObservation(
                 time=self.sim.now, key=key, response_time_s=response_time,
                 messages=outcome.trace.message_count,
                 replicas_inspected=outcome.replicas_inspected,
-                found=outcome.found, is_current=outcome.is_current))
+                found=outcome.found, is_current=outcome.is_current,
+                stale=stale,
+                flagged=self.detector.flag_count > flags_before))
         return callback
 
 

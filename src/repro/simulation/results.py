@@ -12,7 +12,16 @@ __all__ = ["QueryObservation", "RunResult"]
 
 @dataclass(frozen=True)
 class QueryObservation:
-    """One measured query (retrieve) of the experiment."""
+    """One measured query (retrieve) of the experiment.
+
+    ``stale`` is ground truth only the harness knows: the returned data was
+    not the latest committed version of the key (always ``False`` for
+    not-found queries).  ``flagged`` records whether the passive timestamp
+    cross-check detector (:class:`repro.core.detector.CrossCheckDetector`)
+    flagged the retrieval's ``last_ts`` claim as provably behind an observed
+    replica.  Both default to ``False`` so observations recorded by earlier
+    releases deserialise unchanged.
+    """
 
     time: float
     key: Any
@@ -21,6 +30,8 @@ class QueryObservation:
     replicas_inspected: int
     found: bool
     is_current: bool
+    stale: bool = False
+    flagged: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable snapshot (used by the execution-layer run cache)."""
@@ -117,6 +128,51 @@ class RunResult:
         return sum(1 for observation in self.queries if observation.found) / len(self.queries)
 
     @property
+    def stale_results(self) -> int:
+        """Queries that returned data older than the key's latest version."""
+        return sum(1 for observation in self.queries if observation.stale)
+
+    @property
+    def currency_violations(self) -> int:
+        """Queries certified current (``is_current``) that were in fact stale.
+
+        This is the measured failure count of the paper's currency
+        guarantee: 0 on honest runs up to the guarantee's own probabilistic
+        slack, and the quantity byzantine responsibles inflate.
+        """
+        return sum(1 for observation in self.queries
+                   if observation.is_current and observation.stale)
+
+    @property
+    def detected_lies(self) -> int:
+        """Queries the timestamp cross-check detector flagged."""
+        return sum(1 for observation in self.queries if observation.flagged)
+
+    @property
+    def undetected_stale_rate(self) -> float:
+        """Fraction of stale results the detector did *not* flag (0.0 if none)."""
+        stale = self.stale_results
+        if stale == 0:
+            return 0.0
+        undetected = sum(1 for observation in self.queries
+                         if observation.stale and not observation.flagged)
+        return undetected / stale
+
+    @property
+    def true_currency_rate(self) -> float:
+        """Fraction of queries that returned the key's actual latest version.
+
+        Unlike :attr:`currency_rate` (what the service *certified*), this is
+        measured against the harness's ground truth — the degradation-curve
+        metric of the attack grid.
+        """
+        if not self.queries:
+            return 0.0
+        current = sum(1 for observation in self.queries
+                      if observation.found and not observation.stale)
+        return current / len(self.queries)
+
+    @property
     def avg_currency_probability(self) -> float:
         """Mean of the sampled p_t values (0.0 when sampling was disabled)."""
         if self.currency_series is None or len(self.currency_series) == 0:
@@ -179,7 +235,12 @@ class RunResult:
             "avg_messages": self.avg_messages,
             "avg_replicas_inspected": self.avg_replicas_inspected,
             "currency_rate": self.currency_rate,
+            "true_currency_rate": self.true_currency_rate,
             "found_rate": self.found_rate,
+            "stale_results": float(self.stale_results),
+            "currency_violations": float(self.currency_violations),
+            "detected_lies": float(self.detected_lies),
+            "undetected_stale_rate": self.undetected_stale_rate,
             "queries": float(self.query_count),
             "updates": float(self.updates_performed),
             "churn_events": float(self.churn_events),

@@ -71,11 +71,23 @@ from repro.simulation.scenarios.registry import (
 )
 from repro.simulation.scenarios.spec import ScenarioSpec
 
+# Imported last: registers the byzantine fault profiles and the adversarial
+# scenarios (byzantine-timestamps, eclipse, geo-latency) into the same
+# registries the imports above populated.
+from repro.simulation.adversary import (
+    ByzantineTimestamps,
+    EclipseAttack,
+    TimestampLiar,
+    eclipse_capture_set,
+)
+
 __all__ = [
     "ARCHETYPES",
     "ArrivalModel",
+    "ByzantineTimestamps",
     "CorrelatedFailureBurst",
     "DiurnalArrivals",
+    "EclipseAttack",
     "FaultProfile",
     "FlashCrowdArrivals",
     "KeyPopularityModel",
@@ -85,6 +97,7 @@ __all__ = [
     "Scenario",
     "ScenarioSpec",
     "ShiftingHotspotPopularity",
+    "TimestampLiar",
     "UniformArrivals",
     "UniformPopularity",
     "WorkloadProfile",
@@ -92,6 +105,7 @@ __all__ = [
     "build_arrivals",
     "build_fault",
     "build_popularity",
+    "eclipse_capture_set",
     "build_profile",
     "get_scenario",
     "is_scenario_registered",

@@ -93,16 +93,20 @@ class Scenario:
 
     # --------------------------------------------------------------- faults
     def install_faults(self, sim, *, network, cost_model, rng,
-                       duration_s: float, churn=None) -> None:
+                       duration_s: float, churn=None, cluster=None) -> None:
         """Schedule every fault profile on ``sim``; resets the fault log.
 
         ``churn`` (the run's :class:`~repro.simulation.churn.ChurnProcess`)
-        lets failure-style profiles execute through the churn accounting.
+        lets failure-style profiles execute through the churn accounting;
+        ``cluster`` (the run's :class:`~repro.api.cluster.Cluster`) gives the
+        byzantine profiles of :mod:`repro.simulation.adversary` access to
+        the KTS reply seam.
         """
         self.fault_log = []
         for fault in self.faults:
             fault.install(sim, network=network, cost_model=cost_model, rng=rng,
-                          duration_s=duration_s, log=self.fault_log, churn=churn)
+                          duration_s=duration_s, log=self.fault_log, churn=churn,
+                          cluster=cluster)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"Scenario({self.name!r}, popularity={self.popularity.kind}, "

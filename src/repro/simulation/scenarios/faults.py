@@ -22,6 +22,14 @@ A profile ``install``\\ s itself onto the simulation engine; fired events are
 appended to the scenario's fault log so runs can report what actually
 happened.  Installation consumes no randomness — only fired bursts draw from
 the dedicated fault RNG — so seeded runs replay bit-for-bit.
+
+Vocabulary: every profile in this module is **crash-stop** — peers fail,
+vanish or slow down, but surviving peers always answer honestly.  The
+**byzantine** regime (peers that answer with *falsified* timestamps:
+``byzantine-timestamps``, ``eclipse``) lives in
+:mod:`repro.simulation.adversary` and registers its profiles into the same
+:data:`FAULT_PROFILES` table, so scenario specs reach both families through
+one ``kind`` namespace.
 """
 
 from __future__ import annotations
@@ -45,7 +53,7 @@ class FaultProfile:
     kind: str = "base"
 
     def install(self, sim, *, network, cost_model, rng, duration_s: float,
-                log: List[Dict[str, Any]], churn=None) -> None:
+                log: List[Dict[str, Any]], churn=None, cluster=None) -> None:
         """Schedule this profile's events on ``sim``.
 
         ``network`` is the :class:`~repro.dht.network.DHTNetwork` under test,
@@ -56,7 +64,10 @@ class FaultProfile:
         failure-style profiles execute through it
         (:meth:`~repro.simulation.churn.ChurnProcess.fail_together`) so
         correlated failures appear in the churn accounting; without one they
-        fall back to direct network operations.
+        fall back to direct network operations.  ``cluster`` is the run's
+        :class:`~repro.api.cluster.Cluster` when available: byzantine
+        profiles (:mod:`repro.simulation.adversary`) reach the KTS reply
+        seam through it, while crash-stop profiles ignore it.
         """
         raise NotImplementedError
 
@@ -118,7 +129,7 @@ class CorrelatedFailureBurst(FaultProfile):
             raise ValueError("fraction must be in (0, 1]")
 
     def install(self, sim, *, network, cost_model, rng, duration_s: float,
-                log: List[Dict[str, Any]], churn=None) -> None:
+                log: List[Dict[str, Any]], churn=None, cluster=None) -> None:
         def fire() -> None:
             network.now = sim.now
             alive = network.alive_peer_ids()
@@ -179,7 +190,7 @@ class RegionalPartition(FaultProfile):
             raise ValueError("heal_after must be > 0 when given")
 
     def install(self, sim, *, network, cost_model, rng, duration_s: float,
-                log: List[Dict[str, Any]], churn=None) -> None:
+                log: List[Dict[str, Any]], churn=None, cluster=None) -> None:
         def fire() -> None:
             network.now = sim.now
             space = 1 << network.bits
@@ -248,7 +259,7 @@ class LossyPeriod(FaultProfile):
             raise ValueError("timeout_factor must be >= 1")
 
     def install(self, sim, *, network, cost_model, rng, duration_s: float,
-                log: List[Dict[str, Any]], churn=None) -> None:
+                log: List[Dict[str, Any]], churn=None, cluster=None) -> None:
         def degrade() -> None:
             cost_model.set_degradation(latency_factor=self.latency_factor,
                                        bandwidth_factor=self.bandwidth_factor,

@@ -90,3 +90,81 @@ class TestSampling:
         model = NetworkCostModel(latency_mean_s=0.2, bandwidth_mean_bps=56_000.0,
                                  rng=random.Random(7))
         assert model.expected_message_delay(700) == pytest.approx(0.2 + 5600 / 56_000.0)
+
+
+class TestGeoLatency:
+    def _model(self, **overrides):
+        from repro.simulation.cost import GeoLatencyCostModel
+
+        defaults = dict(regions=3, assignment_seed=7, rng=random.Random(9))
+        defaults.update(overrides)
+        return GeoLatencyCostModel(**defaults)
+
+    def test_default_matrix_is_symmetric_with_table1_diagonal(self):
+        model = self._model()
+        for row in range(3):
+            assert model.rtt_matrix[row][row] == pytest.approx(2 * model.latency_mean_s)
+            for column in range(3):
+                assert model.rtt_matrix[row][column] == model.rtt_matrix[column][row]
+        # Inter-region RTT grows with region distance.
+        assert model.rtt_matrix[0][2] > model.rtt_matrix[0][1] > model.rtt_matrix[0][0]
+
+    def test_region_assignment_is_deterministic_and_seeded(self):
+        first, second = self._model(), self._model()
+        other_seed = self._model(assignment_seed=8)
+        regions = [first.region_of(peer) for peer in range(200)]
+        assert regions == [second.region_of(peer) for peer in range(200)]
+        assert all(0 <= region < 3 for region in regions)
+        assert len(set(regions)) == 3  # every region actually gets peers
+        assert regions != [other_seed.region_of(peer) for peer in range(200)]
+        assert first.region_of(None) == 0
+
+    def test_link_latency_is_half_the_region_pair_rtt(self):
+        model = self._model()
+        source, dest = 11, 42
+        expected = model.rtt_matrix[model.region_of(source)][model.region_of(dest)] / 2.0
+        assert model.link_latency_mean_s(source, dest) == expected
+        assert model.link_latency_mean_s(source, dest) == \
+            model.link_latency_mean_s(dest, source)
+
+    def test_single_region_matrix_degenerates_to_wide_area(self):
+        model = self._model(regions=1)
+        assert model.rtt_matrix == ((pytest.approx(2 * model.latency_mean_s),),)
+        assert model.expected_message_delay(700) == pytest.approx(
+            NetworkCostModel(rng=random.Random(1)).expected_message_delay(700))
+
+    def test_message_delay_prices_the_regional_mean(self):
+        from repro.dht.messages import Message
+
+        model = self._model(latency_std_s=0.0, bandwidth_std_bps=0.0)
+        message = Message(kind=MessageKind.LOOKUP_HOP, size_bytes=700,
+                          source=11, dest=42)
+        expected = (model.link_latency_mean_s(11, 42)
+                    + (700 * 8) / model.bandwidth_mean_bps)
+        assert model.message_delay(message) == pytest.approx(expected)
+
+    def test_degradation_factors_apply_to_geo_pricing(self):
+        from repro.dht.messages import Message
+
+        model = self._model(latency_std_s=0.0, bandwidth_std_bps=0.0)
+        message = Message(kind=MessageKind.LOOKUP_HOP, size_bytes=0,
+                          source=11, dest=42)
+        base = model.message_delay(message)
+        model.set_degradation(latency_factor=3.0)
+        assert model.message_delay(message) == pytest.approx(3.0 * base)
+        model.clear_degradation()
+        assert model.message_delay(message) == pytest.approx(base)
+
+    @pytest.mark.parametrize("bad", [
+        dict(regions=0),
+        dict(rtt_matrix=((1.0, 2.0),)),                    # wrong shape
+        dict(rtt_matrix=((1.0, 2.0), (3.0, 1.0))),          # asymmetric
+        dict(regions=2, rtt_matrix=((1.0, -2.0), (-2.0, 1.0))),  # negative
+    ])
+    def test_invalid_configurations_rejected(self, bad):
+        from repro.simulation.cost import GeoLatencyCostModel
+
+        config = dict(regions=2, rng=random.Random(1))
+        config.update(bad)
+        with pytest.raises(ValueError):
+            GeoLatencyCostModel(**config)
