@@ -6,18 +6,24 @@ from repro.experiments import figures
 
 
 def test_figure10_messages_vs_replicas(benchmark, bench_scale, bench_seed, bench_executor,
-                                       sweep_cache, record_table):
+                                       sweep_cache, record_table,
+                                       record_cost_json):
     def run():
         data = sweep_cache.get(("replicas", bench_scale, bench_seed))
         if data is None:
             data = figures.replica_sweep_results(bench_scale, seed=bench_seed,
                                                  executor=bench_executor)
             sweep_cache[("replicas", bench_scale, bench_seed)] = data
-        return figures.figure10_replicas_messages(bench_scale, seed=bench_seed,
-                                                  precomputed=data)
+        return (figures.figure10_replicas_messages(bench_scale, seed=bench_seed,
+                                                   precomputed=data),
+                figures.figure10_replicas_bytes(bench_scale, seed=bench_seed,
+                                                precomputed=data))
 
-    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    table, bytes_table = benchmark.pedantic(run, rounds=1, iterations=1)
     record_table(table, benchmark)
+    record_table(bytes_table, benchmark)
+    record_cost_json(table.experiment_id, table, bytes_table,
+                     scale=bench_scale, seed=bench_seed, benchmark=benchmark)
 
     replicas = table.x_values()
     brk = table.series_values("BRK")
@@ -30,3 +36,10 @@ def test_figure10_messages_vs_replicas(benchmark, bench_scale, bench_seed, bench
     # grows far more slowly than BRK's.
     assert direct[-1] / direct[0] < 0.5 * brk_growth
     assert all(d < b for d, b in zip(direct, brk))
+
+    # The byte-denominated curve mirrors it: each extra replica costs BRK a
+    # data-sized reply, so bytes grow with |Hr| and stay above UMS-Direct.
+    brk_bytes = bytes_table.series_values("BRK")
+    direct_bytes = bytes_table.series_values("UMS-Direct")
+    assert brk_bytes[-1] > brk_bytes[0]
+    assert all(d < b for d, b in zip(direct_bytes, brk_bytes))

@@ -14,7 +14,8 @@ from repro.experiments import figures
 
 
 def test_figure8_messages_vs_peers(benchmark, bench_scale, bench_seed, bench_executor,
-                                   bench_overlays, sweep_cache, record_table):
+                                   bench_overlays, sweep_cache, record_table,
+                                   record_cost_json):
     def run():
         tables = {}
         for overlay in bench_overlays:
@@ -24,15 +25,24 @@ def test_figure8_messages_vs_peers(benchmark, bench_scale, bench_seed, bench_exe
                                                protocol=overlay,
                                                executor=bench_executor)
                 sweep_cache[("scaleup", bench_scale, bench_seed, overlay)] = data
-            tables[overlay] = figures.figure8_messages_vs_peers(
-                bench_scale, seed=bench_seed, protocol=overlay, precomputed=data)
+            tables[overlay] = (
+                figures.figure8_messages_vs_peers(
+                    bench_scale, seed=bench_seed, protocol=overlay,
+                    precomputed=data),
+                figures.figure8_bytes_vs_peers(
+                    bench_scale, seed=bench_seed, protocol=overlay,
+                    precomputed=data))
         return tables
 
     tables = benchmark.pedantic(run, rounds=1, iterations=1)
 
     for overlay in bench_overlays:
-        table = tables[overlay]
+        table, bytes_table = tables[overlay]
         record_table(table, benchmark)
+        record_table(bytes_table, benchmark)
+        record_cost_json(table.experiment_id, table, bytes_table,
+                         scale=bench_scale, seed=bench_seed,
+                         benchmark=benchmark)
 
         brk = table.series_values("BRK")
         direct = table.series_values("UMS-Direct")
@@ -47,3 +57,10 @@ def test_figure8_messages_vs_peers(benchmark, bench_scale, bench_seed, bench_exe
         # Kademlia); only meaningful when the sweep spans >= 4x in population.
         if peers[-1] / peers[0] >= 4:
             assert brk[-1] / brk[0] < 2.0, overlay
+
+        # Bytes-per-op tells the same story: BRK's per-replica data replies
+        # dominate, so its byte cost beats UMS-Direct's by a wide margin too.
+        brk_bytes = bytes_table.series_values("BRK")
+        direct_bytes = bytes_table.series_values("UMS-Direct")
+        for d, b in zip(direct_bytes, brk_bytes):
+            assert b > d > 0, overlay

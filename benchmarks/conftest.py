@@ -127,6 +127,53 @@ def record_table(results_dir):
 
 
 @pytest.fixture
+def record_cost_json(results_dir):
+    """Write (and check) a figure bench's cost artifact: messages & bytes per op.
+
+    The artifact ``<experiment>-cost.json`` carries, per algorithm series,
+    both the messages-per-query and the bytes-per-query sweep values.  When a
+    committed ``<experiment>-cost-baseline.json`` with matching meta (scale,
+    seed) exists, the fresh values are compared against it — the sweeps are
+    deterministic for a fixed seed, so any drift is a real behaviour change.
+    Baselines recorded before the bytes-per-op accounting simply lack the
+    ``bytes`` arrays; they still load, and only the metrics they carry are
+    compared.
+    """
+
+    def _record(experiment_id, messages_table, bytes_table, *, scale, seed,
+                benchmark=None):
+        payload = {
+            "harness": "bench_figures",
+            "experiment": experiment_id,
+            "meta": {"scale": scale, "seed": seed},
+            "x_label": messages_table.x_label,
+            "x_values": list(messages_table.x_values()),
+            "series": {label: {"messages": list(messages_table.series_values(label)),
+                               "bytes": list(bytes_table.series_values(label))}
+                       for label in messages_table.series},
+        }
+        path = results_dir / f"{experiment_id}-cost.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        baseline_path = results_dir / f"{experiment_id}-cost-baseline.json"
+        if baseline_path.exists():
+            baseline = json.loads(baseline_path.read_text())
+            if baseline.get("meta") == payload["meta"]:
+                assert baseline["x_values"] == payload["x_values"], experiment_id
+                for label, series in baseline["series"].items():
+                    for metric_name, values in series.items():
+                        fresh = payload["series"][label].get(metric_name)
+                        if fresh is not None:
+                            assert values == pytest.approx(fresh), \
+                                (experiment_id, label, metric_name)
+        if benchmark is not None:
+            benchmark.extra_info[f"cost:{experiment_id}"] = str(path.name)
+        return path
+
+    return _record
+
+
+@pytest.fixture
 def record_plan_json(results_dir):
     """Write a JSON artifact of a named plan: ``<plan.name>-<hash12>.json``.
 

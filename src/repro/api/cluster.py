@@ -311,6 +311,17 @@ class Cluster:
         return Session(self, self.service(service), origin=origin,
                        consistency=consistency)
 
+    # ----------------------------------------------------------- maintenance
+    def sync_replicas(self, keys: Optional[Sequence[Any]] = None) -> Any:
+        """Run one delta anti-entropy round over ``keys`` (default: all keys).
+
+        Delegates to :meth:`repro.core.replication.ReplicationScheme.sync_replicas`
+        and returns its :class:`~repro.core.replication.ReplicaSyncReport` —
+        replicas diverged by churn or failures converge to the newest copy,
+        shipping only the entries whose timestamp/version advanced.
+        """
+        return self.replication.sync_replicas(self.network, keys)
+
     # ----------------------------------------------------------- diagnostics
     def currency_probability(self, key: Any) -> float:
         """Empirical probability of currency and availability ``p_t`` for ``key``."""

@@ -328,6 +328,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-request transport timeout (net backends)")
     loadgen.add_argument("--max-retries", type=int, default=2,
                          help="bounded transport retries (net backends)")
+    loadgen.add_argument("--wire-format", choices=("auto", "json", "binary"),
+                         default="auto",
+                         help="frame encoding for net backends: binary "
+                              "(compact, zlib above a size threshold) when "
+                              "the server advertises it, else json")
+    loadgen.add_argument("--sync-round", action="store_true",
+                         help="run one delta anti-entropy round "
+                              "(sync_replicas) after the load and attach its "
+                              "report to the artifact")
     loadgen.add_argument("--output", default=None, metavar="FILE",
                          help="report path (default: benchmarks/results/"
                               "loadgen-<arrival>-<backend>-<hash12>.json)")
@@ -475,7 +484,8 @@ def loadgen_command(arguments: argparse.Namespace, *, stream=None) -> int:
                        seed=arguments.seed)
     else:
         options = dict(address=arguments.address, timeout_s=arguments.timeout,
-                       max_retries=arguments.max_retries)
+                       max_retries=arguments.max_retries,
+                       wire_format=arguments.wire_format)
     try:
         cluster = build_backend(backend, **options)
     except (ValueError, OSError) as error:
@@ -484,6 +494,10 @@ def loadgen_command(arguments: argparse.Namespace, *, stream=None) -> int:
     try:
         report = run_load(cluster, spec, backend=backend,
                           paced=not arguments.no_pacing)
+        if arguments.sync_round:
+            sync_report = cluster.sync_replicas()
+            report.sync = (sync_report if isinstance(sync_report, dict)
+                           else sync_report.to_dict())
         if arguments.shutdown and hasattr(cluster, "shutdown_server"):
             cluster.shutdown_server()
     finally:
@@ -510,6 +524,14 @@ def loadgen_command(arguments: argparse.Namespace, *, stream=None) -> int:
         stream.write(f"transport            : {report.transport['requests']} "
                      f"requests, {report.transport['retries']} retries, "
                      f"{report.transport['timeouts']} timeouts\n")
+        if "bytes_per_op" in report.transport:
+            stream.write(f"bytes per op         : "
+                         f"{report.transport['bytes_per_op']:.1f} "
+                         f"({report.transport['wire_format']} frames)\n")
+    if report.sync is not None:
+        stream.write(f"delta sync           : {report.sync['entries_shipped']} "
+                     f"shipped / {report.sync['entries_skipped']} skipped, "
+                     f"transfer ratio {report.sync['transfer_ratio']:.3f}\n")
     stream.write(f"report written to {path}\n")
     return 0
 

@@ -45,6 +45,11 @@ class MessageKind(str, enum.Enum):
     COUNTER_TRANSFER = "counter-transfer"
     DATA_TRANSFER = "data-transfer"
     CONTROL = "control"
+    #: Delta replication (anti-entropy): the destination's compact timestamp
+    #: summary of a span, and the source's reply carrying only the entries
+    #: that advanced past it.
+    SYNC_SUMMARY = "sync-summary"
+    SYNC_DELTA = "sync-delta"
 
 
 @dataclass(frozen=True)
@@ -63,7 +68,7 @@ class MessageSizes:
     def size_of(self, kind: MessageKind) -> int:
         """Payload size for a message of ``kind``."""
         if kind in (MessageKind.GET_REPLY, MessageKind.PUT_REQUEST,
-                    MessageKind.DATA_TRANSFER):
+                    MessageKind.DATA_TRANSFER, MessageKind.SYNC_DELTA):
             return self.data_bytes
         return self.control_bytes
 

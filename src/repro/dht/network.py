@@ -43,7 +43,8 @@ from repro.dht.model import (
 )
 from repro.dht.storage import LocalStore, StoredValue
 
-__all__ = ["DHTNetwork", "NetworkObserver", "NetworkStats", "PeerState"]
+__all__ = ["DHTNetwork", "NetworkObserver", "NetworkStats", "PeerState",
+           "SYNC_SUMMARY_ENTRY_BYTES", "SyncReport"]
 
 
 class NetworkObserver:
@@ -82,10 +83,66 @@ class NetworkStats:
 
     maintenance_messages: int = 0
     handover_entries: int = 0
+    #: Entries a handover or sync *skipped* because the destination's copy
+    #: had not fallen behind — the savings of delta replication.
+    handover_entries_skipped: int = 0
     lost_entries: int = 0
     joins: int = 0
     leaves: int = 0
     failures: int = 0
+    sync_rounds: int = 0
+    sync_entries_shipped: int = 0
+
+
+#: Modeled size of one per-entry token inside a SYNC_SUMMARY message: a key
+#: digest plus a timestamp/version counter.  Tiny next to ``data_bytes``,
+#: which is why shipping summaries beats shipping state.
+SYNC_SUMMARY_ENTRY_BYTES = 8
+
+
+@dataclass(frozen=True)
+class SyncReport:
+    """Outcome of one delta-sync exchange (:meth:`DHTNetwork.sync_span`).
+
+    ``full_bytes`` is the modeled cost of the naive alternative — shipping
+    every entry the source holds in the span — so
+    :attr:`transfer_ratio` measures what the delta exchange saved.
+    """
+
+    source: int
+    dest: int
+    entries_considered: int
+    entries_shipped: int
+    entries_applied: int
+    summary_entries: int
+    summary_bytes: int
+    delta_bytes: int
+    full_bytes: int
+
+    @property
+    def transfer_bytes(self) -> int:
+        """Total bytes the delta exchange put on the wire (summary + delta)."""
+        return self.summary_bytes + self.delta_bytes
+
+    @property
+    def transfer_ratio(self) -> float:
+        """Delta-exchange bytes as a fraction of a full-state transfer."""
+        if self.full_bytes <= 0:
+            return 0.0
+        return self.transfer_bytes / self.full_bytes
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot (embedded in sync artifacts and reports)."""
+        return {"source": self.source, "dest": self.dest,
+                "entries_considered": self.entries_considered,
+                "entries_shipped": self.entries_shipped,
+                "entries_applied": self.entries_applied,
+                "summary_entries": self.summary_entries,
+                "summary_bytes": self.summary_bytes,
+                "delta_bytes": self.delta_bytes,
+                "full_bytes": self.full_bytes,
+                "transfer_bytes": self.transfer_bytes,
+                "transfer_ratio": self.transfer_ratio}
 
 
 class DHTNetwork:
@@ -259,6 +316,14 @@ class DHTNetwork:
         if self._peers:
             for entry in entries:
                 new_owner = self.protocol.responsible_for(entry.point)
+                existing = self._peers[new_owner].store.get(entry.hash_name,
+                                                            entry.key)
+                if existing is not None and not entry.is_newer_than(existing):
+                    # Delta handover: the new owner's copy has not fallen
+                    # behind, so shipping the entry would only be rejected by
+                    # its reconciliation — skip the transfer entirely.
+                    self.stats.handover_entries_skipped += 1
+                    continue
                 self._store_entry(new_owner, entry, record_responsibility=True)
                 self.stats.maintenance_messages += 1
                 self.stats.handover_entries += 1
@@ -290,6 +355,12 @@ class DHTNetwork:
         newcomer's claimed interval; otherwise the store's distinct points are
         checked against the (version-cached) responsibility map.  Either way
         the cost scales with the data actually moving, not the store size.
+
+        The transfer itself is *delta-based*: entries the destination already
+        holds a same-or-newer copy of (per
+        :meth:`~repro.dht.storage.StoredValue.is_newer_than`) are dropped at
+        the source instead of shipped — its reconciliation would reject them
+        anyway, so only the skip counter observes the difference.
         """
         if previous_owner not in self._peers or previous_owner == to_peer:
             return
@@ -305,8 +376,13 @@ class DHTNetwork:
             for point in source.points():
                 if responsible_for(point) == to_peer:
                     moving.extend(source.entries_at(point))
+        dest = self._peers[to_peer].store
         for entry in moving:
             source.delete(entry.hash_name, entry.key)
+            existing = dest.get(entry.hash_name, entry.key)
+            if existing is not None and not entry.is_newer_than(existing):
+                self.stats.handover_entries_skipped += 1
+                continue
             self._store_entry(to_peer, entry, record_responsibility=True)
             self.stats.maintenance_messages += 1
             self.stats.handover_entries += 1
@@ -531,6 +607,55 @@ class DHTNetwork:
                 results[index] = self._store_entry(responsible, entry,
                                                    record_responsibility=True)
         return results
+
+    # -------------------------------------------------------------- delta sync
+    def sync_span(self, source: int, dest: int, lo: int, hi: int, *,
+                  trace: Optional[OperationTrace] = None) -> SyncReport:
+        """One pull-based delta-sync exchange over the span ``(lo, hi]``.
+
+        The anti-entropy primitive behind replica reconciliation: ``dest``
+        ships its compact timestamp summary of the span
+        (:meth:`~repro.dht.storage.LocalStore.timestamp_summary`, one
+        ``SYNC_SUMMARY`` message), and ``source`` replies with only the
+        entries whose timestamp (or version) advanced past it
+        (:meth:`~repro.dht.storage.LocalStore.entries_newer_than`, one
+        ``SYNC_DELTA`` message).  The destination reconciles the delta with
+        the ordinary newest-wins ``put``.  ``lo == hi`` syncs the whole
+        identifier space.
+
+        Draws no randomness and records messages only on the provided
+        ``trace``, so seeded runs that never sync are bit-identical to
+        earlier releases.
+        """
+        source_store = self.peer(source).store
+        dest_store = self.peer(dest).store
+        summary = dest_store.timestamp_summary(lo, hi)
+        considered = source_store.entries_in_span(lo, hi)
+        delta = source_store.entries_newer_than(lo, hi, summary)
+        sizes = self.message_sizes
+        summary_bytes = (sizes.control_bytes
+                         + SYNC_SUMMARY_ENTRY_BYTES * len(summary))
+        delta_bytes = sizes.control_bytes + sizes.data_bytes * len(delta)
+        full_bytes = sizes.control_bytes + sizes.data_bytes * len(considered)
+        if trace is not None:
+            trace.record(MessageKind.SYNC_SUMMARY, source=dest, dest=source,
+                         size_bytes=summary_bytes)
+            trace.record(MessageKind.SYNC_DELTA, source=source, dest=dest,
+                         size_bytes=delta_bytes)
+        applied = 0
+        for entry in delta:
+            if self._store_entry(dest, entry):
+                applied += 1
+        self.stats.maintenance_messages += 2
+        self.stats.sync_rounds += 1
+        self.stats.sync_entries_shipped += len(delta)
+        self.stats.handover_entries_skipped += len(considered) - len(delta)
+        return SyncReport(source=source, dest=dest,
+                          entries_considered=len(considered),
+                          entries_shipped=len(delta), entries_applied=applied,
+                          summary_entries=len(summary),
+                          summary_bytes=summary_bytes, delta_bytes=delta_bytes,
+                          full_bytes=full_bytes)
 
     # ----------------------------------------------------------------- storage
     def store_locally(self, peer_id: int, entry: StoredValue) -> bool:

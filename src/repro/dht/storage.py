@@ -15,7 +15,7 @@ from array import array
 from dataclasses import dataclass, replace
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["LocalStore", "StoredValue"]
+__all__ = ["LocalStore", "StoredValue", "advanced_past", "reconciliation_token"]
 
 
 @dataclass(frozen=True)
@@ -76,6 +76,39 @@ class StoredValue:
         # Mixing stamped and un-stamped replicas for the same key: keep the
         # stamped one.
         return self.timestamp is not None or self.version is not None
+
+
+def reconciliation_token(entry: StoredValue) -> Tuple[str, Any]:
+    """The compact comparison token a summary carries for ``entry``.
+
+    ``("ts", counter)`` for timestamped replicas (the counter of
+    :class:`repro.core.timestamps.Timestamp`, or the raw value for plain
+    ordered timestamps), ``("version", n)`` for versioned ones and
+    ``("none", 0)`` for bare entries.  Tokens are orders of magnitude smaller
+    than the data they stand for, which is what makes a summary exchange
+    cheaper than a full-state transfer.
+    """
+    if entry.timestamp is not None:
+        return ("ts", getattr(entry.timestamp, "value", entry.timestamp))
+    if entry.version is not None:
+        return ("version", entry.version)
+    return ("none", 0)
+
+
+def advanced_past(entry: StoredValue, token: Tuple[str, Any]) -> bool:
+    """Whether ``entry`` must be shipped given the destination's ``token``.
+
+    Only a provable non-advance is skipped; any mismatch of kinds ships the
+    entry and lets the destination's reconciliation decide.
+    """
+    kind, value = token[0], token[1]
+    if kind == "ts" and entry.timestamp is not None:
+        return getattr(entry.timestamp, "value", entry.timestamp) > value
+    if kind == "version" and entry.version is not None:
+        return entry.version > value
+    if kind == "none":
+        return entry.timestamp is not None or entry.version is not None
+    return True
 
 
 class LocalStore:
@@ -253,6 +286,40 @@ class LocalStore:
         for point in selected:
             entries.extend(slab[slot] for slot in self._point_slots[point])  # type: ignore[misc]
         return entries
+
+    # ------------------------------------------------------------- delta sync
+    def timestamp_summary(self, lo: int, hi: int) -> Dict[Tuple[str, Any], Tuple[str, Any]]:
+        """Reconciliation tokens of every entry in the span ``(lo, hi]``.
+
+        The summary maps ``(hash_name, key)`` to a compact token — the KTS
+        timestamp counter for stamped replicas, the version number for BRK
+        replicas — and is what a peer ships *instead of* its data during a
+        delta sync: the other side compares tokens and sends back only the
+        entries that advanced (:meth:`entries_newer_than`).  ``lo == hi``
+        summarises the whole store, mirroring :meth:`entries_in_span`.
+        """
+        return {(entry.hash_name, entry.key): reconciliation_token(entry)
+                for entry in self.entries_in_span(lo, hi)}
+
+    def entries_newer_than(self, lo: int, hi: int,
+                           summary: Dict[Tuple[str, Any], Tuple[str, Any]]
+                           ) -> List[StoredValue]:
+        """Entries in ``(lo, hi]`` that advanced past ``summary``'s tokens.
+
+        This is the sender side of delta replication: given the destination's
+        :meth:`timestamp_summary`, return only the entries the destination is
+        missing or holds an older copy of.  The filter is conservative — an
+        entry is skipped only when its token *provably* has not advanced
+        (same kind, not strictly greater) — so the destination's
+        ``put(reconcile=True)`` remains the final authority and no advanced
+        entry is ever withheld.
+        """
+        selected: List[StoredValue] = []
+        for entry in self.entries_in_span(lo, hi):
+            token = summary.get((entry.hash_name, entry.key))
+            if token is None or advanced_past(entry, token):
+                selected.append(entry)
+        return selected
 
     def touch(self, hash_name: str, key: Any, stored_at: float) -> None:
         """Update the ``stored_at`` time of an entry (used by handover)."""

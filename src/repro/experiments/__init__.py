@@ -18,8 +18,10 @@ from repro.experiments.figures import (
     expected_retrievals_table,
     figure6_cluster_scaleup,
     figure7_simulated_scaleup,
+    figure8_bytes_vs_peers,
     figure8_messages_vs_peers,
     figure9_replicas_response_time,
+    figure10_replicas_bytes,
     figure10_replicas_messages,
     figure11_failure_rate,
     figure12_update_frequency,
@@ -42,8 +44,10 @@ __all__ = [
     "expected_retrievals_table",
     "figure6_cluster_scaleup",
     "figure7_simulated_scaleup",
+    "figure8_bytes_vs_peers",
     "figure8_messages_vs_peers",
     "figure9_replicas_response_time",
+    "figure10_replicas_bytes",
     "figure10_replicas_messages",
     "figure11_failure_rate",
     "figure12_update_frequency",

@@ -39,8 +39,10 @@ __all__ = [
     "expected_retrievals_table",
     "figure6_cluster_scaleup",
     "figure7_simulated_scaleup",
+    "figure8_bytes_vs_peers",
     "figure8_messages_vs_peers",
     "figure9_replicas_response_time",
+    "figure10_replicas_bytes",
     "figure10_replicas_messages",
     "figure11_failure_rate",
     "figure12_update_frequency",
@@ -120,6 +122,8 @@ def _metric(result: RunResult, metric: str) -> float:
         return result.avg_response_time_s
     if metric == "messages":
         return result.avg_messages
+    if metric == "bytes":
+        return result.avg_bytes
     if metric == "replicas_inspected":
         return result.avg_replicas_inspected
     raise ValueError(f"unknown metric {metric!r}")
@@ -291,6 +295,27 @@ def figure8_messages_vs_peers(scale: str = "quick", *, seed: int = 2007,
               "plus a couple of probes.")
 
 
+def figure8_bytes_vs_peers(scale: str = "quick", *, seed: int = 2007,
+                           protocol: str = "chord", precomputed=None,
+                           executor: Optional[Executor] = None) -> ExperimentTable:
+    """Figure 8 companion: communication cost in *bytes* per query vs peers.
+
+    Same sweep as :func:`figure8_messages_vs_peers`, priced through the cost
+    model's ``traffic_bytes`` (payload sizes plus per-message framing
+    overhead) — the byte-denominated curve of the wire-efficiency layer.
+    """
+    peer_counts, algorithms, results = (precomputed or
+                                        scaleup_results(scale, seed=seed,
+                                                        protocol=protocol,
+                                                        executor=executor))
+    return _table_from_results(
+        _experiment_id("figure-8-bytes", protocol),
+        f"Communication cost (bytes) vs number of peers ({protocol})", "peers",
+        peer_counts, algorithms, results, "bytes",
+        notes="Byte-denominated twin of Figure 8: data-carrying replies dominate, "
+              "so BRK's full-replica sweep costs the most bytes too.")
+
+
 # -------------------------------------------------------------- Figures 9 & 10
 def replica_sweep_results(scale: str = "quick", *, seed: int = 2007,
                           protocol: str = "chord",
@@ -344,6 +369,22 @@ def figure10_replicas_messages(scale: str = "quick", *, seed: int = 2007,
         f"Communication cost vs number of replicas ({protocol})", "replicas",
         replica_counts, algorithms, results, "messages",
         notes="BRK's message count grows linearly with |Hr|.")
+
+
+def figure10_replicas_bytes(scale: str = "quick", *, seed: int = 2007,
+                            protocol: str = "chord", precomputed=None,
+                            executor: Optional[Executor] = None) -> ExperimentTable:
+    """Figure 10 companion: communication cost in *bytes* vs number of replicas."""
+    replica_counts, algorithms, results = (precomputed or
+                                           replica_sweep_results(scale, seed=seed,
+                                                                 protocol=protocol,
+                                                                 executor=executor))
+    return _table_from_results(
+        _experiment_id("figure-10-bytes", protocol),
+        f"Communication cost (bytes) vs number of replicas ({protocol})",
+        "replicas", replica_counts, algorithms, results, "bytes",
+        notes="Byte-denominated twin of Figure 10: BRK ships a data-sized reply "
+              "per replica, so its byte cost grows linearly with |Hr| as well.")
 
 
 # ------------------------------------------------------------------- Figure 11

@@ -109,20 +109,27 @@ class _Connection:
         self.decoder = codec.FrameDecoder()
         self.closed = False
 
-    async def request(self, frame: bytes) -> Dict[str, Any]:
-        """Send one encoded frame and await the next reply payload."""
+    async def request(self, frame: bytes) -> Tuple[Dict[str, Any], int]:
+        """Send one encoded frame; return the reply payload and its wire bytes.
+
+        The byte count is *measured* (bytes read off the socket for this
+        reply, header included), not recomputed from the payload — so the
+        transport counters stay exact whichever format the server replied in.
+        """
         self.writer.write(frame)
         await self.writer.drain()
+        received = self.decoder.pending_bytes
         while True:
             chunk = await self.reader.read(64 * 1024)
             if not chunk:
                 raise TransportError("server closed the connection")
+            received += len(chunk)
             frames = self.decoder.feed(chunk)
             if frames:
                 if len(frames) != 1:
                     raise TransportError(
                         f"expected one reply frame, got {len(frames)}")
-                return frames[0]
+                return frames[0], received - self.decoder.pending_bytes
 
     def close(self) -> None:
         """Tear the connection down (a timed-out link cannot be reused)."""
@@ -146,10 +153,16 @@ class NetClient:
         How many times a timed-out request is re-sent before
         :class:`RequestTimeout` is raised (total attempts =
         ``max_retries + 1``).
+    wire_format:
+        Body encoding of outgoing frames (``"json"`` or ``"binary"``); the
+        server replies in kind.  :func:`connect` negotiates this from the
+        server's ``info`` advertisement — only set it directly against a
+        server known to accept the format.
     """
 
     def __init__(self, address: Address, *, pool_size: int = 2,
-                 timeout_s: float = 5.0, max_retries: int = 2) -> None:
+                 timeout_s: float = 5.0, max_retries: int = 2,
+                 wire_format: str = codec.FORMAT_JSON) -> None:
         if pool_size < 1:
             raise ValueError(f"pool_size must be >= 1, got {pool_size}")
         if max_retries < 0:
@@ -160,6 +173,7 @@ class NetClient:
         self.pool_size = pool_size
         self.timeout_s = timeout_s
         self.max_retries = max_retries
+        self.wire_format = codec.normalize_wire_format(wire_format)
         self.counters = TransportCounters()
         self._next_id = 0
         self._created = 0
@@ -246,7 +260,7 @@ class NetClient:
             self._next_id += 1
         payload = {"id": request_id, "op": op}
         payload.update(params)
-        frame = codec.encode_frame(payload)
+        frame = codec.encode_frame(payload, wire_format=self.wire_format)
         return self._submit(self._request_with_retries(request_id, frame))
 
     async def _request_with_retries(self, request_id: int,
@@ -257,8 +271,8 @@ class NetClient:
             stats.attempts += 1
             connection = await self._acquire()
             try:
-                reply = await asyncio.wait_for(connection.request(frame),
-                                               timeout=self.timeout_s)
+                reply, received = await asyncio.wait_for(
+                    connection.request(frame), timeout=self.timeout_s)
             except asyncio.TimeoutError:
                 stats.timeouts += 1
                 self.counters.timeouts += 1
@@ -280,9 +294,9 @@ class NetClient:
             else:
                 self._release(connection)
                 stats.bytes_sent += len(frame) * stats.attempts
-                stats.bytes_received += codec.frame_size(reply)
+                stats.bytes_received += received
                 self.counters.bytes_sent += len(frame) * stats.attempts
-                self.counters.bytes_received += codec.frame_size(reply)
+                self.counters.bytes_received += received
                 return self._unwrap(request_id, reply), stats
         raise RequestTimeout(f"request {request_id} got no reply")  # pragma: no cover
 
@@ -437,6 +451,24 @@ class RemoteCluster:
         """Number of live peers on the served cluster (at connect time)."""
         return self.info.get("peers", 0)
 
+    @property
+    def wire_format(self) -> str:
+        """The negotiated body encoding of this connection's frames."""
+        return self.client.wire_format
+
+    def sync_replicas(self, keys: Optional[Sequence[Any]] = None) -> Dict[str, Any]:
+        """Run one delta anti-entropy round on the server.
+
+        Mirrors :meth:`repro.api.cluster.Cluster.sync_replicas`; returns the
+        :class:`~repro.core.replication.ReplicaSyncReport` as a plain dict
+        (the wire form of ``report.to_dict()``).
+        """
+        params: Dict[str, Any] = {}
+        if keys is not None:
+            params["keys"] = [codec.encode_value(key) for key in keys]
+        result, _stats = self.client.request("sync", **params)
+        return result
+
     def ping(self) -> bool:
         """Round-trip liveness check."""
         result, _stats = self.client.request("ping")
@@ -462,13 +494,25 @@ class RemoteCluster:
 
 
 def connect(address: Address, *, pool_size: int = 2, timeout_s: float = 5.0,
-            max_retries: int = 2) -> RemoteCluster:
+            max_retries: int = 2, wire_format: str = "auto") -> RemoteCluster:
     """Connect to a :class:`~repro.net.server.NodeServer` and return a cluster.
 
     ``address`` is ``(host, port)`` for TCP or a socket path for UDS.  The
-    handshake issues one ``info`` request, so a bad address fails fast here
-    rather than on the first operation.
+    handshake issues one ``info`` request (always in JSON, which every server
+    speaks), so a bad address fails fast here rather than on the first
+    operation — and the reply doubles as the wire-format negotiation: the
+    server advertises the frame encodings it accepts in ``wire_formats``.
+
+    ``wire_format`` selects the encoding of subsequent frames:
+
+    * ``"auto"`` (default) — binary when the server advertises it, JSON
+      otherwise;
+    * ``"binary"`` — binary when advertised, falling back to JSON against an
+      older server that never advertised formats (old servers keep working);
+    * ``"json"`` — always JSON.
     """
+    if wire_format != "auto":
+        codec.normalize_wire_format(wire_format)  # fail fast on typos
     client = NetClient(address, pool_size=pool_size, timeout_s=timeout_s,
                        max_retries=max_retries)
     try:
@@ -476,4 +520,8 @@ def connect(address: Address, *, pool_size: int = 2, timeout_s: float = 5.0,
     except TransportError:
         client.close()
         raise
+    advertised = info.get("wire_formats", [codec.FORMAT_JSON])
+    if wire_format in ("auto", codec.FORMAT_BINARY) \
+            and codec.FORMAT_BINARY in advertised:
+        client.wire_format = codec.FORMAT_BINARY
     return RemoteCluster(client, info)

@@ -1,11 +1,19 @@
 """Length-prefixed wire codec for the service-mode transport.
 
-Frames are ``4-byte big-endian length || UTF-8 JSON body``.  The body is a
-compact, key-sorted JSON object, so a frame's byte size is a deterministic
-function of its payload — :func:`frame_size` *measures* the serialised size of
-any payload (and :func:`wire_size_of` that of one
-:class:`~repro.dht.messages.Message`), giving the bytes-per-op accounting the
-simulator's :class:`~repro.dht.messages.MessageSizes` only models.
+Frames are ``4-byte big-endian length || body``.  The body's first byte
+discriminates its format (see :mod:`repro.net.wire` for the binary layouts):
+``{`` opens the legacy compact key-sorted JSON object, ``0x01`` a tagged
+struct-packed binary object, ``0x02`` a zlib-compressed binary object.  Both
+encoders are deterministic functions of the payload, so a frame's byte size
+is too — :func:`frame_size` *measures* the serialised size of any payload
+(and :func:`wire_size_of` that of one :class:`~repro.dht.messages.Message`),
+giving the bytes-per-op accounting the simulator's
+:class:`~repro.dht.messages.MessageSizes` only models.
+
+**Size convention**: :func:`frame_size` and :func:`wire_size_of` report the
+full on-the-wire cost of a frame — the 4-byte length prefix *plus* the body —
+matching what the transport counters in :mod:`repro.net.client` accumulate.
+Code that needs the body alone subtracts ``FRAME_HEADER_BYTES``.
 
 On top of the framing, the codec defines the JSON encoding of the existing
 in-process types so the client and the server exchange *exactly* the objects
@@ -31,7 +39,7 @@ from __future__ import annotations
 
 import json
 import struct
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.api.results import (
     BatchInsertResult,
@@ -41,11 +49,28 @@ from repro.api.results import (
 )
 from repro.core.timestamps import Timestamp
 from repro.dht.messages import Message, MessageKind, MessageSizes, OperationTrace
+from repro.net.wire import (
+    COMPRESS_MIN_BYTES,
+    FORMAT_BINARY,
+    FORMAT_JSON,
+    MAX_FRAME_BYTES,
+    WIRE_FORMATS,
+    CodecError,
+    normalize_wire_format,
+    pack_payload,
+    unpack_payload,
+)
 
 __all__ = [
+    "COMPRESS_MIN_BYTES",
     "CodecError",
+    "FORMAT_BINARY",
+    "FORMAT_JSON",
+    "FRAME_HEADER_BYTES",
     "FrameDecoder",
     "MAX_FRAME_BYTES",
+    "WIRE_FORMATS",
+    "normalize_wire_format",
     "batch_insert_result_from_dict",
     "batch_insert_result_to_dict",
     "batch_retrieve_result_from_dict",
@@ -68,26 +93,34 @@ __all__ = [
 
 _HEADER = struct.Struct(">I")
 
-#: Hard upper bound on one frame's body, protecting both sides against a
-#: corrupt (or hostile) length prefix.
-MAX_FRAME_BYTES = 16 * 1024 * 1024
+#: Size of the length prefix every frame carries; :func:`frame_size` and
+#: :func:`wire_size_of` include it (the header-inclusive convention).
+FRAME_HEADER_BYTES = _HEADER.size
 
 #: Tag key marking an encoded :class:`Timestamp` inside a JSON payload.
 _TIMESTAMP_TAG = "__repro.timestamp__"
 
 
-class CodecError(ValueError):
-    """A frame or payload could not be encoded or decoded."""
-
-
 # ------------------------------------------------------------------- framing
-def encode_frame(payload: Dict[str, Any]) -> bytes:
-    """Serialise ``payload`` as one length-prefixed JSON frame."""
-    try:
-        body = json.dumps(payload, separators=(",", ":"),
-                          sort_keys=True).encode("utf-8")
-    except (TypeError, ValueError) as error:
-        raise CodecError(f"payload is not JSON-serialisable: {error}") from error
+def encode_frame(payload: Dict[str, Any], *, wire_format: str = FORMAT_JSON,
+                 compress_min_bytes: int = COMPRESS_MIN_BYTES) -> bytes:
+    """Serialise ``payload`` as one length-prefixed frame.
+
+    ``wire_format`` selects the body encoding: ``"json"`` (the legacy compact
+    key-sorted JSON object) or ``"binary"`` (the tagged struct-packed
+    encoding of :mod:`repro.net.wire`, zlib-compressed once the packed body
+    reaches ``compress_min_bytes``).  Either way the bytes are a
+    deterministic function of the payload.
+    """
+    if normalize_wire_format(wire_format) == FORMAT_BINARY:
+        body = pack_payload(payload, compress_min_bytes=compress_min_bytes)
+    else:
+        try:
+            body = json.dumps(payload, separators=(",", ":"),
+                              sort_keys=True).encode("utf-8")
+        except (TypeError, ValueError) as error:
+            raise CodecError(
+                f"payload is not JSON-serialisable: {error}") from error
     if len(body) > MAX_FRAME_BYTES:
         raise CodecError(f"frame body of {len(body)} bytes exceeds the "
                          f"{MAX_FRAME_BYTES}-byte limit")
@@ -104,21 +137,36 @@ def decode_frame(data: bytes) -> Dict[str, Any]:
     return frames[0]
 
 
-def frame_size(payload: Dict[str, Any]) -> int:
-    """The measured wire size (header + body) of ``payload``, in bytes."""
-    return len(encode_frame(payload))
+def frame_size(payload: Dict[str, Any], *,
+               wire_format: str = FORMAT_JSON) -> int:
+    """The measured wire size of ``payload``, in bytes.
+
+    Header-inclusive by convention: the 4-byte length prefix
+    (:data:`FRAME_HEADER_BYTES`) is counted, so the result is exactly the
+    byte count a transport would put on the wire for this payload in
+    ``wire_format``.
+    """
+    return len(encode_frame(payload, wire_format=wire_format))
 
 
-def wire_size_of(message: Message) -> int:
-    """The measured wire size of one :class:`Message`, in bytes."""
-    return frame_size(message_to_dict(message))
+def wire_size_of(message: Message, *, wire_format: str = FORMAT_JSON) -> int:
+    """The measured wire size of one :class:`Message`, in bytes.
+
+    Follows the same header-inclusive convention as :func:`frame_size`.
+    """
+    return frame_size(message_to_dict(message), wire_format=wire_format)
 
 
 class FrameDecoder:
     """Incremental frame decoder: feed byte chunks, collect decoded payloads.
 
     The decoder owns a reassembly buffer, so frames may arrive split across
-    arbitrarily many chunks (or many frames inside one chunk).
+    arbitrarily many chunks (or many frames inside one chunk).  Each frame's
+    body format is detected from its first byte, so one connection may freely
+    interleave JSON and binary frames (that is how format negotiation stays a
+    capability check instead of a handshake).  A malformed frame is consumed
+    from the buffer *before* its :class:`CodecError` is raised, so the
+    decoder stays usable for the frames that follow it.
     """
 
     def __init__(self) -> None:
@@ -131,10 +179,21 @@ class FrameDecoder:
 
     def feed(self, data: bytes) -> List[Dict[str, Any]]:
         """Append ``data`` to the buffer and return every completed payload."""
+        return [payload for payload, _format in self._drain_list(data)]
+
+    def feed_with_formats(self, data: bytes) -> List[Tuple[Dict[str, Any], str]]:
+        """Like :meth:`feed`, but pairs each payload with its body format.
+
+        The format name (``"json"`` or ``"binary"``) lets a server reply in
+        the same encoding the request arrived in.
+        """
+        return self._drain_list(data)
+
+    def _drain_list(self, data: bytes) -> List[Tuple[Dict[str, Any], str]]:
         self._buffer.extend(data)
         return list(self._drain())
 
-    def _drain(self) -> Iterator[Dict[str, Any]]:
+    def _drain(self) -> Iterator[Tuple[Dict[str, Any], str]]:
         while len(self._buffer) >= _HEADER.size:
             (length,) = _HEADER.unpack_from(self._buffer)
             if length > MAX_FRAME_BYTES:
@@ -145,14 +204,20 @@ class FrameDecoder:
                 return
             body = bytes(self._buffer[_HEADER.size:end])
             del self._buffer[:end]
-            try:
-                payload = json.loads(body.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError) as error:
-                raise CodecError(f"malformed frame body: {error}") from error
-            if not isinstance(payload, dict):
-                raise CodecError(f"frame body must be a JSON object, "
-                                 f"got {type(payload).__name__}")
-            yield payload
+            yield self._decode_body(body)
+
+    @staticmethod
+    def _decode_body(body: bytes) -> Tuple[Dict[str, Any], str]:
+        if body and body[0] < 0x20:  # binary markers sort below printable JSON
+            return unpack_payload(body), FORMAT_BINARY
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise CodecError(f"malformed frame body: {error}") from error
+        if not isinstance(payload, dict):
+            raise CodecError(f"frame body must be a JSON object, "
+                             f"got {type(payload).__name__}")
+        return payload, FORMAT_JSON
 
 
 # ------------------------------------------------------------------- values

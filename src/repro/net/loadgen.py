@@ -109,7 +109,10 @@ class LoadReport:
     errors: int
     elapsed_s: float
     latencies_ms: List[float]
-    transport: Optional[Dict[str, int]] = None
+    transport: Optional[Dict[str, Any]] = None
+    #: Report of a trailing delta anti-entropy round (``sync_replicas``),
+    #: attached by the CLI's ``--sync-round``; ``None`` when no round ran.
+    sync: Optional[Dict[str, Any]] = None
 
     @property
     def throughput_ops_per_s(self) -> float:
@@ -118,13 +121,16 @@ class LoadReport:
 
     def to_dict(self) -> Dict[str, Any]:
         """The JSON artifact payload: spec, throughput and percentiles."""
-        return {"harness": "loadgen", "spec": self.spec.to_dict(),
-                "spec_hash": self.spec.spec_hash, "backend": self.backend,
-                "operations": self.operations, "requests": self.requests,
-                "errors": self.errors, "elapsed_s": self.elapsed_s,
-                "throughput_ops_per_s": self.throughput_ops_per_s,
-                "latency_ms": summarize_latencies(self.latencies_ms),
-                "transport": self.transport}
+        payload = {"harness": "loadgen", "spec": self.spec.to_dict(),
+                   "spec_hash": self.spec.spec_hash, "backend": self.backend,
+                   "operations": self.operations, "requests": self.requests,
+                   "errors": self.errors, "elapsed_s": self.elapsed_s,
+                   "throughput_ops_per_s": self.throughput_ops_per_s,
+                   "latency_ms": summarize_latencies(self.latencies_ms),
+                   "transport": self.transport}
+        if self.sync is not None:
+            payload["sync"] = self.sync
+        return payload
 
 
 def percentile(sorted_values: Sequence[float], fraction: float) -> float:
@@ -199,6 +205,9 @@ def run_load(cluster: Any, spec: LoadSpec, *, backend: str = "sim",
                                                        rng)
     operations = _build_schedule(spec, rng)[:len(arrival_times)]
 
+    client = getattr(cluster, "client", None)
+    counters_before = client.counters.as_dict() if client is not None else {}
+
     latencies_ms: List[float] = []
     errors = 0
     completed = 0
@@ -233,9 +242,16 @@ def run_load(cluster: Any, spec: LoadSpec, *, backend: str = "sim",
         elapsed = time.perf_counter() - started
 
     transport = None
-    client = getattr(cluster, "client", None)
     if client is not None:
-        transport = client.counters.as_dict()
+        # Per-run deltas, so back-to-back runs on one connection do not bleed
+        # into each other's byte accounting.
+        transport = {name: value - counters_before.get(name, 0)
+                     for name, value in client.counters.as_dict().items()}
+        transport["wire_format"] = getattr(client, "wire_format", "json")
+        if completed > 0:
+            transport["bytes_per_op"] = (
+                (transport["bytes_sent"] + transport["bytes_received"])
+                / completed)
     return LoadReport(spec=spec, backend=backend, operations=completed,
                       requests=len(operations), errors=errors,
                       elapsed_s=elapsed, latencies_ms=latencies_ms,

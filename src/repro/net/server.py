@@ -4,8 +4,15 @@ A :class:`NodeServer` hosts the same substrate the simulation backend wires
 in-process — an overlay population with per-peer
 :class:`~repro.dht.storage.LocalStore` replicas, the KTS timestamping service
 and the registered currency services (UMS/BRK handlers) — behind
-length-prefixed JSON frames (:mod:`repro.net.codec`) over TCP and/or a Unix
+length-prefixed frames (:mod:`repro.net.codec`) over TCP and/or a Unix
 domain socket.
+
+Wire-format negotiation is a capability check, not a handshake: the ``info``
+reply advertises the formats the server accepts (``wire_formats``), each
+request's body format is detected from its first byte, and the reply is
+encoded in the same format the request arrived in.  Old JSON-only clients
+keep working unchanged; a binary-capable client simply starts sending binary
+frames after seeing the advertisement.
 
 Per-connection flow control is a **bounded inflight queue**: a reader task
 parses frames and ``await``\\ s them into an ``asyncio.Queue(max_inflight)``,
@@ -217,7 +224,13 @@ class NodeServer:
                     "representation": self.cluster.network.protocol.representation,
                     "service": self.cluster.service_name,
                     "replicas": self.cluster.replication.factor,
+                    "wire_formats": list(codec.WIRE_FORMATS),
                     "version": __version__}
+        if op == "sync":
+            keys = request.get("keys")
+            if keys is not None:
+                keys = [codec.decode_value(key) for key in keys]
+            return self.cluster.sync_replicas(keys).to_dict()
         if op == "shutdown":
             self._shutdown_task = asyncio.get_running_loop().create_task(
                 self.stop())
@@ -293,28 +306,30 @@ class _Connection:
                 return
             if not chunk:
                 return
-            for request in decoder.feed(chunk):
+            for request_and_format in decoder.feed_with_formats(chunk):
                 # Backpressure point: a full queue blocks this ``put``, which
                 # stops the read loop until the worker catches up.
-                await self.queue.put(request)
+                await self.queue.put(request_and_format)
                 depth = self.queue.qsize()
                 if depth > self.server.max_observed_inflight:
                     self.server.max_observed_inflight = depth
 
     async def _work(self) -> None:
         while True:
-            request = await self.queue.get()
-            if request is None:
+            item = await self.queue.get()
+            if item is None:
                 if self._eof and self.queue.empty():
                     return
                 continue
+            request, wire_format = item
             self._executing += 1
             try:
-                await self._execute(request)
+                await self._execute(request, wire_format)
             finally:
                 self._executing -= 1
 
-    async def _execute(self, request: Dict[str, Any]) -> None:
+    async def _execute(self, request: Dict[str, Any],
+                       wire_format: str = codec.FORMAT_JSON) -> None:
         schedule = self.server.fault_schedule
         fault_index = None
         if schedule is not None and request.get("op") in _DATA_OPS:
@@ -328,7 +343,9 @@ class _Connection:
             if delay > 0:
                 await asyncio.sleep(delay)
         try:
-            self.writer.write(codec.encode_frame(reply))
+            # Reply in the format the request arrived in: negotiation stays a
+            # per-frame property, so JSON and binary clients share one server.
+            self.writer.write(codec.encode_frame(reply, wire_format=wire_format))
             await self.writer.drain()
         except (ConnectionError, OSError):
             self._eof = True

@@ -147,6 +147,20 @@ class NetworkCostModel:
         """
         return sum(self.message_delay(message) for message in trace)
 
+    #: Per-message framing overhead charged by :meth:`traffic_bytes`.  Matches
+    #: the 4-byte length prefix of the wire codec's frame format
+    #: (``repro.net.codec.FRAME_HEADER_BYTES``) — kept as a local constant so
+    #: the simulation layer does not import upward into ``repro.net``.
+    frame_overhead_bytes: int = 4
+
+    def traffic_bytes(self, trace: OperationTrace) -> int:
+        """Total wire bytes of an operation: payloads plus framing overhead.
+
+        Deterministic (no sampling): the byte-denominated twin of the
+        message-count communication cost, used for the bytes-per-op curves.
+        """
+        return trace.total_bytes + self.frame_overhead_bytes * trace.message_count
+
     def expected_message_delay(self, size_bytes: int = 128) -> float:
         """Deterministic expectation of a message delay (no sampling); handy in tests."""
         return self.latency_mean_s + (size_bytes * 8) / self.bandwidth_mean_bps

@@ -246,7 +246,8 @@ class SimulationHarness:
                 replicas_inspected=outcome.replicas_inspected,
                 found=outcome.found, is_current=outcome.is_current,
                 stale=stale,
-                flagged=self.detector.flag_count > flags_before))
+                flagged=self.detector.flag_count > flags_before,
+                bytes_sent=self.cost_model.traffic_bytes(outcome.trace)))
         return callback
 
 

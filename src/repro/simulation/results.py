@@ -32,6 +32,10 @@ class QueryObservation:
     is_current: bool
     stale: bool = False
     flagged: bool = False
+    #: Wire bytes attributed to the query (the cost model's
+    #: ``traffic_bytes`` over its trace).  Defaults to 0 so observations
+    #: recorded by earlier releases deserialise unchanged.
+    bytes_sent: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable snapshot (used by the execution-layer run cache)."""
@@ -93,6 +97,13 @@ class RunResult:
         return tally
 
     @property
+    def bytes_sent(self) -> Tally:
+        """Tally of per-query wire bytes (the byte-denominated cost curve)."""
+        tally = Tally("bytes_sent")
+        tally.extend(float(observation.bytes_sent) for observation in self.queries)
+        return tally
+
+    @property
     def replicas_inspected(self) -> Tally:
         """Tally of the number of replicas each query retrieved."""
         tally = Tally("replicas_inspected")
@@ -108,6 +119,11 @@ class RunResult:
     def avg_messages(self) -> float:
         """Average total messages per query (the paper's communication cost)."""
         return self.messages.mean
+
+    @property
+    def avg_bytes(self) -> float:
+        """Average wire bytes per query (bytes-per-op, the byte cost curve)."""
+        return self.bytes_sent.mean
 
     @property
     def avg_replicas_inspected(self) -> float:
@@ -233,6 +249,7 @@ class RunResult:
         return {
             "avg_response_time_s": self.avg_response_time_s,
             "avg_messages": self.avg_messages,
+            "avg_bytes": self.avg_bytes,
             "avg_replicas_inspected": self.avg_replicas_inspected,
             "currency_rate": self.currency_rate,
             "true_currency_rate": self.true_currency_rate,

@@ -3,7 +3,12 @@
 from __future__ import annotations
 
 from repro.core.timestamps import Timestamp
-from repro.dht.storage import LocalStore, StoredValue
+from repro.dht.storage import (
+    LocalStore,
+    StoredValue,
+    advanced_past,
+    reconciliation_token,
+)
 
 
 def ts_entry(key="k", value=1, data="payload", hash_name="hr-0"):
@@ -202,3 +207,59 @@ class TestPointIndex:
         store.put(point_entry("a", 10))
         store.touch("hr-0", "a", stored_at=42.0)
         assert store.entries_at(10)[0].stored_at == 42.0
+
+
+class TestDeltaSyncPrimitives:
+    def test_reconciliation_tokens_by_kind(self):
+        assert reconciliation_token(ts_entry(value=7)) == ("ts", 7)
+        assert reconciliation_token(version_entry(version=3)) == ("version", 3)
+        bare = StoredValue(key="k", data="d", hash_name="hr-0", point=1)
+        assert reconciliation_token(bare) == ("none", 0)
+
+    def test_advanced_past_is_strictly_greater(self):
+        assert advanced_past(ts_entry(value=8), ("ts", 7))
+        assert not advanced_past(ts_entry(value=7), ("ts", 7))
+        assert advanced_past(version_entry(version=4), ("version", 3))
+        # Equal versions are NOT an advance: is_newer_than says last-writer-
+        # wins on ties (the BRK ambiguity), but re-shipping a consistent
+        # population would never converge.
+        assert not advanced_past(version_entry(version=3), ("version", 3))
+
+    def test_advanced_past_is_conservative_on_kind_mismatch(self):
+        # Any mismatch the filter cannot prove stale ships the entry and
+        # lets the destination's reconciliation decide.
+        assert advanced_past(ts_entry(value=1), ("version", 99))
+        assert advanced_past(ts_entry(value=1), ("none", 0))
+        assert advanced_past(version_entry(version=1), ("future-kind", 0))
+        bare = StoredValue(key="k", data="d", hash_name="hr-0", point=1)
+        assert not advanced_past(bare, ("none", 0))
+
+    def test_timestamp_summary_maps_slots_to_tokens(self):
+        store = LocalStore()
+        store.put(point_entry("a", 10, version=2))
+        store.put(point_entry("b", 20, version=5, hash_name="hr-1"))
+        summary = store.timestamp_summary(0, 0)
+        assert summary == {("hr-0", "a"): ("version", 2),
+                           ("hr-1", "b"): ("version", 5)}
+
+    def test_summary_respects_the_span(self):
+        store = LocalStore()
+        store.put(point_entry("a", 10))
+        store.put(point_entry("b", 200))
+        assert set(store.timestamp_summary(5, 100)) == {("hr-0", "a")}
+
+    def test_entries_newer_than_ships_only_the_delta(self):
+        source = LocalStore()
+        source.put(point_entry("same", 10, version=3))
+        source.put(point_entry("ahead", 20, version=9))
+        source.put(point_entry("missing", 30, version=1))
+        dest_summary = {("hr-0", "same"): ("version", 3),
+                        ("hr-0", "ahead"): ("version", 2)}
+        shipped = source.entries_newer_than(0, 0, dest_summary)
+        assert sorted(entry.key for entry in shipped) == ["ahead", "missing"]
+
+    def test_entries_newer_than_empty_summary_is_full_state(self):
+        store = LocalStore()
+        for key, point in (("a", 10), ("b", 20)):
+            store.put(point_entry(key, point))
+        assert len(store.entries_newer_than(0, 0, {})) == 2

@@ -75,6 +75,109 @@ class TestFraming:
             codec.encode_frame({"bad": object()})
 
 
+class TestBinaryFraming:
+    def test_binary_round_trip(self):
+        payload = {"id": 7, "op": "insert", "key": "k",
+                   "data": {"v": [1, 2.5, None, True, False]}}
+        frame = codec.encode_frame(payload, wire_format=codec.FORMAT_BINARY)
+        assert codec.decode_frame(frame) == payload
+
+    def test_small_binary_body_is_uncompressed(self):
+        frame = codec.encode_frame({"op": "ping"},
+                                   wire_format=codec.FORMAT_BINARY)
+        assert frame[codec.FRAME_HEADER_BYTES] == 0x01
+
+    def test_bulk_binary_body_is_compressed(self):
+        payload = {"items": [{"key": f"k{i}", "data": "v" * 32}
+                             for i in range(64)]}
+        frame = codec.encode_frame(payload, wire_format=codec.FORMAT_BINARY)
+        assert frame[codec.FRAME_HEADER_BYTES] == 0x02
+        assert codec.decode_frame(frame) == payload
+        # ...and beats the JSON encoding by a wide margin on bulk shapes.
+        assert len(frame) * 2 < codec.frame_size(payload)
+
+    def test_header_convention_is_pinned(self):
+        # The 4-byte length prefix is part of every reported size.  This is
+        # the convention the transport counters, the simulator's
+        # frame_overhead_bytes, and the bench artifacts all assume.
+        assert codec.FRAME_HEADER_BYTES == 4
+        for wire_format in codec.WIRE_FORMATS:
+            payload = {"op": "ping"}
+            frame = codec.encode_frame(payload, wire_format=wire_format)
+            body_len = struct.unpack(">I", frame[:4])[0]
+            assert len(frame) == codec.FRAME_HEADER_BYTES + body_len
+            assert codec.frame_size(payload, wire_format=wire_format) == \
+                len(frame)
+
+    def test_wire_size_of_supports_binary(self):
+        trace = OperationTrace()
+        message = trace.record(MessageKind.GET_REQUEST, source=1, dest=2)
+        assert codec.wire_size_of(message, wire_format=codec.FORMAT_BINARY) == \
+            codec.frame_size(codec.message_to_dict(message),
+                             wire_format=codec.FORMAT_BINARY)
+
+    def test_timestamp_gets_a_native_binary_tag(self):
+        payload = {"stamp": Timestamp(key="k", value=9)}
+        frame = codec.encode_frame(payload, wire_format=codec.FORMAT_BINARY)
+        decoded = codec.decode_frame(frame)
+        assert decoded["stamp"] == Timestamp(key="k", value=9)
+
+    def test_big_integers_survive_the_round_trip(self):
+        payload = {"big": 2 ** 200, "negative": -(2 ** 100), "small": -5}
+        frame = codec.encode_frame(payload, wire_format=codec.FORMAT_BINARY)
+        assert codec.decode_frame(frame) == payload
+
+    def test_mixed_formats_interleave_on_one_decoder(self):
+        payloads = [{"id": 1}, {"id": 2}, {"id": 3}]
+        stream = (codec.encode_frame(payloads[0])
+                  + codec.encode_frame(payloads[1],
+                                       wire_format=codec.FORMAT_BINARY)
+                  + codec.encode_frame(payloads[2]))
+        decoder = codec.FrameDecoder()
+        decoded = decoder.feed_with_formats(stream)
+        assert [payload for payload, _fmt in decoded] == payloads
+        assert [fmt for _payload, fmt in decoded] == \
+            [codec.FORMAT_JSON, codec.FORMAT_BINARY, codec.FORMAT_JSON]
+
+    def test_unknown_marker_is_rejected(self):
+        body = b"\x05junk"
+        with pytest.raises(codec.CodecError, match="marker"):
+            codec.FrameDecoder().feed(struct.pack(">I", len(body)) + body)
+
+    def test_truncated_binary_body_is_rejected(self):
+        frame = codec.encode_frame({"id": 1, "op": "ping"},
+                                   wire_format=codec.FORMAT_BINARY)
+        body = frame[4:-3]  # drop the tail of the packed body
+        with pytest.raises(codec.CodecError, match="truncated|trailing"):
+            codec.FrameDecoder().feed(struct.pack(">I", len(body)) + body)
+
+    def test_corrupt_compressed_body_is_rejected(self):
+        body = bytes((0x02,)) + b"not-zlib-data"
+        with pytest.raises(codec.CodecError, match="compressed"):
+            codec.FrameDecoder().feed(struct.pack(">I", len(body)) + body)
+
+    def test_decoder_survives_a_malformed_frame(self):
+        bad_body = b"\x05junk"
+        good = {"id": 2, "op": "ping"}
+        decoder = codec.FrameDecoder()
+        with pytest.raises(codec.CodecError):
+            decoder.feed(struct.pack(">I", len(bad_body)) + bad_body
+                         + codec.encode_frame(good))
+        # The malformed frame was consumed; the following frame decodes.
+        assert decoder.feed(b"") == [good]
+        assert decoder.pending_bytes == 0
+
+    def test_non_string_dict_keys_are_rejected(self):
+        with pytest.raises(codec.CodecError, match="keys must be strings"):
+            codec.encode_frame({"outer": {1: "x"}},
+                               wire_format=codec.FORMAT_BINARY)
+
+    def test_normalize_wire_format_rejects_unknown_names(self):
+        assert codec.normalize_wire_format("binary") == "binary"
+        with pytest.raises(codec.CodecError, match="unknown wire format"):
+            codec.normalize_wire_format("msgpack")
+
+
 class TestValueEncoding:
     def test_timestamp_round_trip(self):
         stamp = Timestamp(key="k", value=42)

@@ -112,9 +112,12 @@ class TestRunLoad:
             cluster.close()
         assert report.errors == 0
         assert report.transport is not None
-        # info handshake + one request per scheduled operation
-        assert report.transport["requests"] == report.requests + 1
+        # Per-run deltas: one request per scheduled operation, the connect
+        # handshake (issued before the run) excluded.
+        assert report.transport["requests"] == report.requests
         assert report.transport["bytes_sent"] > 0
+        assert report.transport["bytes_per_op"] > 0
+        assert report.transport["wire_format"] in ("json", "binary")
 
     def test_paced_run_respects_the_arrival_window(self):
         cluster = backends.build_backend("sim", peers=12, replicas=3, seed=9)

@@ -1,0 +1,141 @@
+"""Property-based fuzzing of the frame decoder (Hypothesis).
+
+The decoder must reassemble any stream of well-formed frames — JSON, binary,
+and compressed bodies freely interleaved — identically no matter how the
+bytes are split into chunks, and a malformed or oversized frame must raise
+:class:`~repro.net.codec.CodecError` without corrupting the decoder's state
+for the frames that follow.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.timestamps import Timestamp
+from repro.net import codec
+
+# JSON-compatible payload values; ints kept within int64 so JSON and binary
+# frames carry the same payloads (bigger ints are binary-only tested in
+# test_codec.py).
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=20),
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4)),
+    max_leaves=16)
+
+_payloads = st.dictionaries(st.text(max_size=8), _values, max_size=6)
+
+_formats = st.sampled_from(codec.WIRE_FORMATS)
+
+
+def _encode_stream(frames):
+    """Concatenate (payload, wire_format) pairs into one byte stream.
+
+    A tiny ``compress_min_bytes`` forces some binary bodies through the zlib
+    path, so all three body markers appear in the fuzzed streams.
+    """
+    return b"".join(
+        codec.encode_frame(payload, wire_format=wire_format,
+                           compress_min_bytes=32)
+        for payload, wire_format in frames)
+
+
+def _split_points(data, offsets):
+    """Cut ``data`` into chunks at the (sorted, deduplicated) offsets."""
+    cuts = sorted({offset % (len(data) + 1) for offset in offsets})
+    chunks = []
+    previous = 0
+    for cut in cuts:
+        chunks.append(data[previous:cut])
+        previous = cut
+    chunks.append(data[previous:])
+    return chunks
+
+
+class TestReassembly:
+    @given(frames=st.lists(st.tuples(_payloads, _formats), max_size=6),
+           offsets=st.lists(st.integers(min_value=0), max_size=12))
+    @settings(max_examples=200, deadline=None)
+    def test_any_chunking_reassembles_identically(self, frames, offsets):
+        stream = _encode_stream(frames)
+        decoder = codec.FrameDecoder()
+        decoded = []
+        for chunk in _split_points(stream, offsets):
+            decoded.extend(decoder.feed_with_formats(chunk))
+        assert [payload for payload, _fmt in decoded] == \
+            [payload for payload, _fmt in frames]
+        assert [fmt for _payload, fmt in decoded] == \
+            [fmt for _payload, fmt in frames]
+        assert decoder.pending_bytes == 0
+
+    @given(payload=_payloads, wire_format=_formats)
+    @settings(max_examples=200, deadline=None)
+    def test_single_frame_round_trip(self, payload, wire_format):
+        frame = codec.encode_frame(payload, wire_format=wire_format,
+                                   compress_min_bytes=32)
+        assert codec.decode_frame(frame) == payload
+
+    @given(key=st.text(max_size=16),
+           counter=st.integers(min_value=0, max_value=2 ** 62),
+           wire_format=_formats)
+    @settings(max_examples=100, deadline=None)
+    def test_timestamps_survive_both_formats(self, key, counter, wire_format):
+        stamp = Timestamp(key=key, value=counter)
+        payload = {"v": codec.encode_value(stamp)}
+        decoded = codec.decode_frame(
+            codec.encode_frame(payload, wire_format=wire_format))
+        assert codec.decode_value(decoded["v"]) == stamp
+
+
+class TestMalformedFrames:
+    @given(junk=st.binary(min_size=1, max_size=64), payload=_payloads,
+           wire_format=_formats)
+    @settings(max_examples=200, deadline=None)
+    def test_bad_frame_does_not_corrupt_decoder_state(self, junk, payload,
+                                                      wire_format):
+        """A malformed body raises, then the next good frame still decodes."""
+        bad_frame = struct.pack(">I", len(junk)) + junk
+        good_frame = codec.encode_frame(payload, wire_format=wire_format)
+        decoder = codec.FrameDecoder()
+        try:
+            decoded = decoder.feed(bad_frame)
+        except codec.CodecError:
+            decoded = []
+        # Whether the junk happened to parse or raised, the stream continues.
+        decoded.extend(decoder.feed(good_frame))
+        assert decoded[-1] == payload
+        assert decoder.pending_bytes == 0
+
+    @given(length=st.integers(min_value=codec.MAX_FRAME_BYTES + 1,
+                              max_value=2 ** 32 - 1),
+           tail=st.binary(max_size=32))
+    @settings(max_examples=50, deadline=None)
+    def test_oversized_header_raises_and_is_not_buffered(self, length, tail):
+        decoder = codec.FrameDecoder()
+        with pytest.raises(codec.CodecError, match="limit"):
+            decoder.feed(struct.pack(">I", length) + tail)
+
+    @given(payload=_payloads, wire_format=_formats,
+           drop=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=200, deadline=None)
+    def test_truncated_stream_yields_no_phantom_frames(self, payload,
+                                                       wire_format, drop):
+        frame = codec.encode_frame(payload, wire_format=wire_format,
+                                   compress_min_bytes=32)
+        truncated = frame[:-min(drop, len(frame) - codec.FRAME_HEADER_BYTES)]
+        decoder = codec.FrameDecoder()
+        assert decoder.feed(truncated) == []
+        assert decoder.pending_bytes == len(truncated)

@@ -168,3 +168,33 @@ class TestGeoLatency:
         config.update(bad)
         with pytest.raises(ValueError):
             GeoLatencyCostModel(**config)
+
+
+class TestTrafficBytes:
+    def test_empty_trace_costs_no_bytes(self):
+        model = NetworkCostModel.wide_area(seed=1)
+        assert model.traffic_bytes(OperationTrace()) == 0
+
+    def test_payload_plus_per_message_framing(self):
+        model = NetworkCostModel.wide_area(seed=1)
+        trace = trace_with(5)
+        assert model.traffic_bytes(trace) == \
+            trace.total_bytes + 5 * model.frame_overhead_bytes
+
+    def test_frame_overhead_matches_the_wire_codec(self):
+        # The constant is duplicated on purpose (the simulation layer must
+        # not import upward into repro.net); this pin keeps the two in sync.
+        from repro.net.codec import FRAME_HEADER_BYTES
+
+        assert NetworkCostModel.wide_area(seed=1).frame_overhead_bytes == \
+            FRAME_HEADER_BYTES == 4
+
+    def test_traffic_bytes_draws_no_randomness(self):
+        # duration() samples; traffic_bytes must not, or byte accounting
+        # would perturb seeded runs.
+        reference = NetworkCostModel.wide_area(seed=9)
+        probed = NetworkCostModel.wide_area(seed=9)
+        trace = trace_with(8)
+        for _ in range(3):
+            probed.traffic_bytes(trace)
+        assert probed.duration(trace) == reference.duration(trace)

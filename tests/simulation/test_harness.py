@@ -87,3 +87,10 @@ class TestHarnessRuns:
         result = run_simulation(quick_parameters(churn_rate_per_s=0.0))
         assert result.churn_events == 0
         assert result.currency_rate == pytest.approx(1.0)
+
+    def test_queries_account_wire_bytes(self):
+        result = run_simulation(quick_parameters())
+        assert result.avg_bytes > 0.0
+        # Every message costs at least its 4-byte frame header, so the byte
+        # curve is bounded below by the message curve.
+        assert result.avg_bytes >= 4 * result.avg_messages

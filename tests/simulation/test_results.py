@@ -8,10 +8,10 @@ from repro.simulation.results import QueryObservation, RunResult
 
 
 def observation(time=0.0, response_time=1.0, messages=10, inspected=2, found=True,
-                is_current=True):
+                is_current=True, bytes=0):
     return QueryObservation(time=time, key="k", response_time_s=response_time,
                             messages=messages, replicas_inspected=inspected,
-                            found=found, is_current=is_current)
+                            found=found, is_current=is_current, bytes_sent=bytes)
 
 
 class TestRunResult:
@@ -64,3 +64,31 @@ class TestRunResult:
         result.record_query(observation(response_time=3.0))
         assert result.response_time.maximum == 3.0
         assert result.messages.count == 2
+
+
+class TestBytesAccounting:
+    def test_bytes_default_to_zero(self):
+        assert observation().bytes_sent == 0
+
+    def test_avg_bytes_and_summary(self):
+        result = RunResult(algorithm="ums-direct", num_peers=10, num_replicas=5)
+        result.record_query(observation(bytes=1000))
+        result.record_query(observation(bytes=3000))
+        assert result.avg_bytes == pytest.approx(2000.0)
+        assert result.bytes_sent.maximum == 3000.0
+        assert result.summary()["avg_bytes"] == pytest.approx(2000.0)
+
+    def test_observations_from_earlier_releases_deserialise(self):
+        # Payloads recorded before bytes-per-op accounting lack the
+        # ``bytes_sent`` field (and some the stale/flagged flags); they must
+        # keep loading from the execution-layer run cache.
+        legacy = {"time": 0.0, "key": "k", "response_time_s": 1.0,
+                  "messages": 10, "replicas_inspected": 2,
+                  "found": True, "is_current": True}
+        rebuilt = QueryObservation.from_dict(legacy)
+        assert rebuilt.bytes_sent == 0
+        assert rebuilt.stale is False and rebuilt.flagged is False
+
+    def test_round_trip_preserves_bytes(self):
+        first = observation(bytes=4096)
+        assert QueryObservation.from_dict(first.to_dict()) == first
